@@ -1,0 +1,87 @@
+"""Ablations for Section VIII's optimization recommendations.
+
+Each recommendation toggled in isolation on the GPU-1R workload, measuring
+FOM speedup, serial-time reduction, and device-memory reduction — the
+design-choice studies called out in DESIGN.md.
+"""
+
+from conftest import bench_scale, run_once
+
+from repro.core.optimizations import run_ablations
+from repro.core.report import render_table
+from repro.driver.execution import ExecutionConfig
+from repro.driver.params import SimulationParams
+
+SCALE = bench_scale()
+MESH = 64 if SCALE["quick"] else 128
+GPU_1R = ExecutionConfig(backend="gpu", num_gpus=1, ranks_per_gpu=1)
+
+
+def test_ablations_gpu_1r(benchmark, save_report, scale):
+    def run():
+        params = SimulationParams(
+            mesh_size=MESH, block_size=8, num_levels=3, wavefront_speed=0.03
+        )
+        rows_out = []
+        rows = run_ablations(params, GPU_1R, ncycles=scale["ncycles"])
+        for row in rows:
+            rows_out.append(
+                [
+                    row.name,
+                    f"{row.fom_speedup:.3f}x",
+                    f"{row.serial_reduction * 100:.1f}%",
+                    f"{row.memory_reduction_bytes / 2**30:.2f}",
+                ]
+            )
+        return render_table(
+            ["optimization", "FOM speedup", "serial reduction", "memory saved GiB"],
+            rows_out,
+            title=(
+                f"Section VIII ablations (mesh {MESH}, block 8, 3 levels, "
+                "GPU-1R): each recommendation in isolation and combined"
+            ),
+        )
+
+    save_report("ablations", run_once(benchmark, run))
+
+
+def test_ablation_restructured_enables_more_ranks(benchmark, save_report, scale):
+    """The paper's point: freeing aux memory lets more ranks fit per GPU."""
+
+    def run():
+        from dataclasses import replace
+
+        from repro.core.sweeps import gpu_rank_sweep
+        from repro.driver.execution import OptimizationFlags
+
+        params = SimulationParams(mesh_size=MESH, block_size=8, num_levels=3)
+        ranks = (8, 12, 16, 24) if not SCALE["quick"] else (4, 8)
+        rows = []
+        for label, flags in (
+            ("baseline", OptimizationFlags()),
+            ("restructured", OptimizationFlags(restructured_kernels=True)),
+        ):
+            max_ok = 0
+            for r in ranks:
+                config = ExecutionConfig(
+                    backend="gpu",
+                    num_gpus=1,
+                    ranks_per_gpu=r,
+                    optimizations=flags,
+                )
+                from repro.core.characterize import characterize
+
+                res = characterize(params, config, scale["ncycles"], scale["warmup"])
+                if not res.oom:
+                    max_ok = r
+            rows.append([label, max_ok])
+        return render_table(
+            ["variant", "max ranks/GPU without OOM"],
+            rows,
+            title=(
+                "Section VIII-B ablation: kernel restructuring frees memory "
+                "for more ranks per GPU"
+            ),
+        )
+
+    save_report("ablation_ranks", run_once(benchmark, run))

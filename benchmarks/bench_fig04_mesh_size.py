@@ -1,0 +1,86 @@
+"""Fig. 4: performance vs mesh size (static scaling).
+
+MeshBlockSize = 16, #AMR Levels = 3, mesh size swept over
+{64, 96, 128, 160, 192, 256}.  Paper takeaways: GPU FOM degrades with
+larger meshes (serial portion grows faster than kernel time: 64->128 grows
+communicated cells 5.9x, cell updates 4.5x, serial 5.4x, kernel 2.8x);
+CPU with 96 ranks improves up to mesh 128 as under-utilized ranks fill.
+"""
+
+from conftest import bench_scale, run_once
+
+from repro.core.characterize import characterize
+from repro.core.report import render_sweep, render_table
+from repro.core.sweeps import mesh_size_sweep
+from repro.driver.execution import ExecutionConfig
+from repro.driver.params import SimulationParams
+
+SCALE = bench_scale()
+MESHES = (64, 96, 128) if SCALE["quick"] else (64, 96, 128, 160, 192, 256)
+
+CONFIGS = {
+    "GPU1-1R": ExecutionConfig(backend="gpu", num_gpus=1, ranks_per_gpu=1),
+    "GPU1-BestR": ExecutionConfig(backend="gpu", num_gpus=1, ranks_per_gpu=12),
+    "GPU4-BestR": ExecutionConfig(backend="gpu", num_gpus=4, ranks_per_gpu=12),
+    "CPU-96R": ExecutionConfig(backend="cpu", cpu_ranks=96),
+}
+
+
+def test_fig4_mesh_size_sweep(benchmark, save_report, scale):
+    base = SimulationParams(block_size=16, num_levels=3)
+
+    def run():
+        series = mesh_size_sweep(
+            base, CONFIGS, mesh_sizes=MESHES, ncycles=scale["ncycles"]
+        )
+        return render_sweep(
+            series,
+            "mesh size",
+            title=(
+                "Fig 4: FOM (zone-cycles/s) vs mesh size "
+                "(block 16, 3 levels; paper: GPU declines with mesh size, "
+                "CPU-96R peaks near mesh 128)"
+            ),
+        )
+
+    save_report("fig04_mesh_size", run_once(benchmark, run))
+
+
+def test_fig4_growth_factors(benchmark, save_report, scale):
+    """Section IV-A's quoted 64 -> 128 growth factors."""
+
+    def run():
+        gpu = CONFIGS["GPU1-1R"]
+        a = characterize(
+            SimulationParams(mesh_size=64, block_size=16, num_levels=3),
+            gpu, scale["ncycles"], scale["warmup"],
+        )
+        b = characterize(
+            SimulationParams(mesh_size=128, block_size=16, num_levels=3),
+            gpu, scale["ncycles"], scale["warmup"],
+        )
+        rows = [
+            [
+                "communicated cells",
+                f"{b.cells_communicated / a.cells_communicated:.2f}x",
+                "5.9x",
+            ],
+            ["cell updates", f"{b.cell_updates / a.cell_updates:.2f}x", "4.5x"],
+            [
+                "serial time",
+                f"{b.serial_seconds / a.serial_seconds:.2f}x",
+                "5.4x",
+            ],
+            [
+                "kernel time",
+                f"{b.kernel_seconds / a.kernel_seconds:.2f}x",
+                "2.8x",
+            ],
+        ]
+        return render_table(
+            ["quantity", "measured growth 64->128", "paper"],
+            rows,
+            title="Section IV-A: growth factors from mesh 64 to 128 (GPU 1R)",
+        )
+
+    save_report("fig04_growth_factors", run_once(benchmark, run))

@@ -1,0 +1,85 @@
+"""Fig. 5: performance vs MeshBlockSize (mesh 128, 3 AMR levels).
+
+Paper takeaways: both CPU and GPU decline as blocks shrink, but the GPU far
+more steeply; 32 -> 16 grows communicated cells 2.1x while cell updates fall
+5.0x (comm/comp ratio up 10.9x); at block 16 one GPU is slower than the
+96-core CPU, and at block 8 even 4 GPUs lose to the CPU.  GPU 1R total time
+grows 97.63 s (B32) -> 257.21 s (B16) -> 3023 s (B8), i.e. 2.6x then 11.8x.
+"""
+
+from conftest import bench_scale, run_once
+
+from repro.core.characterize import characterize, comm_to_comp_ratio
+from repro.core.report import render_sweep, render_table
+from repro.core.sweeps import block_size_sweep
+from repro.driver.execution import ExecutionConfig
+from repro.driver.params import SimulationParams
+
+SCALE = bench_scale()
+MESH = 64 if SCALE["quick"] else 128
+
+CONFIGS = {
+    "GPU1-1R": ExecutionConfig(backend="gpu", num_gpus=1, ranks_per_gpu=1),
+    "GPU1-BestR": ExecutionConfig(backend="gpu", num_gpus=1, ranks_per_gpu=12),
+    "GPU4-BestR": ExecutionConfig(backend="gpu", num_gpus=4, ranks_per_gpu=12),
+    "GPU8-BestR": ExecutionConfig(backend="gpu", num_gpus=8, ranks_per_gpu=12),
+    "CPU-96R": ExecutionConfig(backend="cpu", cpu_ranks=96),
+}
+
+
+def test_fig5_block_size_sweep(benchmark, save_report, scale):
+    base = SimulationParams(mesh_size=MESH, num_levels=3)
+
+    def run():
+        series = block_size_sweep(
+            base, CONFIGS, block_sizes=(8, 16, 32), ncycles=scale["ncycles"]
+        )
+        return render_sweep(
+            series,
+            "block size",
+            title=(
+                f"Fig 5: FOM vs MeshBlockSize (mesh {MESH}, 3 levels; "
+                "paper: GPU declines far more steeply than CPU)"
+            ),
+        )
+
+    save_report("fig05_block_size", run_once(benchmark, run))
+
+
+def test_fig5_comm_comp_ratios(benchmark, save_report, scale):
+    """Section IV-B's quoted 32 -> 16 factors and per-size run times."""
+
+    def run():
+        gpu = CONFIGS["GPU1-1R"]
+        results = {}
+        for block in (8, 16, 32):
+            results[block] = characterize(
+                SimulationParams(mesh_size=MESH, block_size=block, num_levels=3),
+                gpu, scale["ncycles"], scale["warmup"],
+            )
+        r32, r16, r8 = results[32], results[16], results[8]
+        comm_growth = r16.cells_communicated / r32.cells_communicated
+        update_drop = r32.cell_updates / r16.cell_updates
+        ratio_growth = comm_to_comp_ratio(r16) / comm_to_comp_ratio(r32)
+        rows = [
+            ["communicated cells 32->16", f"{comm_growth:.2f}x", "2.1x"],
+            ["cell updates 32->16", f"1/{update_drop:.2f}", "1/5.0"],
+            ["comm/comp ratio 32->16", f"{ratio_growth:.1f}x", "10.9x"],
+            [
+                "GPU-1R time growth 32->16",
+                f"{r16.wall_seconds / r32.wall_seconds:.2f}x",
+                "2.6x (97.63 -> 257.21 s)",
+            ],
+            [
+                "GPU-1R time growth 16->8",
+                f"{r8.wall_seconds / r16.wall_seconds:.2f}x",
+                "11.8x (257.21 -> 3023 s)",
+            ],
+        ]
+        return render_table(
+            ["quantity", "measured", "paper"],
+            rows,
+            title=f"Section IV-B: block-size factors (mesh {MESH}, 3 levels)",
+        )
+
+    save_report("fig05_factors", run_once(benchmark, run))

@@ -1,0 +1,108 @@
+"""Fig. 6: performance vs #AMR Levels (mesh 128, block 16).
+
+Paper takeaways: CPU FOM nearly constant with depth; GPU drops markedly.
+GPU 1R total time grows 2.1x (1->2 levels) and 6.0x (1->3); the Kokkos
+kernel fraction falls 31.2% -> 23.4% -> 17.9%.  At block 8, communicated
+cells grow 1.4x / 2.7x while updates grow only 1.2x / 2.0x.
+"""
+
+from conftest import bench_scale, run_once
+
+from repro.core.characterize import characterize, kernel_fraction
+from repro.core.report import render_sweep, render_table
+from repro.core.sweeps import amr_level_sweep
+from repro.driver.execution import ExecutionConfig
+from repro.driver.params import SimulationParams
+
+SCALE = bench_scale()
+MESH = 64 if SCALE["quick"] else 128
+
+CONFIGS = {
+    "GPU1-1R": ExecutionConfig(backend="gpu", num_gpus=1, ranks_per_gpu=1),
+    "GPU1-BestR": ExecutionConfig(backend="gpu", num_gpus=1, ranks_per_gpu=12),
+    "CPU-96R": ExecutionConfig(backend="cpu", cpu_ranks=96),
+}
+
+
+def test_fig6_level_sweep(benchmark, save_report, scale):
+    base = SimulationParams(mesh_size=MESH, block_size=16)
+
+    def run():
+        series = amr_level_sweep(
+            base, CONFIGS, levels=(1, 2, 3), ncycles=scale["ncycles"]
+        )
+        return render_sweep(
+            series,
+            "#AMR levels",
+            title=(
+                f"Fig 6: FOM vs #AMR Levels (mesh {MESH}, block 16; "
+                "paper: CPU ~flat, GPU drops markedly)"
+            ),
+        )
+
+    save_report("fig06_levels", run_once(benchmark, run))
+
+
+def test_fig6_kernel_fractions_and_growth(benchmark, save_report, scale):
+    def run():
+        gpu = CONFIGS["GPU1-1R"]
+        results = {}
+        for lvl in (1, 2, 3):
+            results[lvl] = characterize(
+                SimulationParams(mesh_size=MESH, block_size=16, num_levels=lvl),
+                gpu, scale["ncycles"], scale["warmup"],
+            )
+        paper_fracs = {1: 31.2, 2: 23.4, 3: 17.9}
+        rows = []
+        for lvl in (1, 2, 3):
+            r = results[lvl]
+            rows.append(
+                [
+                    lvl,
+                    f"{kernel_fraction(r) * 100:.1f}",
+                    f"{paper_fracs[lvl]}",
+                    f"{r.wall_seconds / results[1].wall_seconds:.2f}x",
+                    {1: "1.0x", 2: "2.1x", 3: "6.0x"}[lvl],
+                ]
+            )
+        return render_table(
+            ["levels", "kernel frac (%)", "paper (%)", "time growth", "paper growth"],
+            rows,
+            title="Section IV-C: kernel fraction and time growth vs depth (GPU 1R)",
+        )
+
+    save_report("fig06_kernel_fractions", run_once(benchmark, run))
+
+
+def test_fig6_block8_comm_growth(benchmark, save_report, scale):
+    """Section IV-C's communicated-cell growth at the smallest block size."""
+
+    def run():
+        gpu = CONFIGS["GPU1-1R"]
+        results = {}
+        for lvl in (1, 2, 3):
+            results[lvl] = characterize(
+                SimulationParams(mesh_size=MESH, block_size=8, num_levels=lvl),
+                gpu, scale["ncycles"], scale["warmup"],
+            )
+        base = results[1]
+        rows = []
+        paper = {2: ("1.4x", "1.2x"), 3: ("2.7x", "2.0x")}
+        for lvl in (2, 3):
+            r = results[lvl]
+            rows.append(
+                [
+                    f"1 -> {lvl} levels",
+                    f"{r.cells_communicated / base.cells_communicated:.2f}x",
+                    paper[lvl][0],
+                    f"{r.cell_updates / base.cell_updates:.2f}x",
+                    paper[lvl][1],
+                ]
+            )
+        return render_table(
+            ["depth", "comm cells", "paper", "cell updates", "paper"],
+            rows,
+            title=f"Section IV-C: communication growth with depth (block 8, mesh {MESH})",
+        )
+
+    save_report("fig06_block8_comm", run_once(benchmark, run))

@@ -1,0 +1,49 @@
+"""Fig. 7: CPU strong scaling (mesh 128, block 8, 3 levels).
+
+Paper takeaways: total runtime falls near-ideally from 4 to 48 cores;
+kernel time keeps scaling to 96; the serial portion shrinks to ~64 cores
+then plateaus (irreducible overhead), with a minor uptick at 72-96 from
+collective contention.
+"""
+
+from conftest import bench_scale, run_once
+
+from repro.core.report import render_table
+from repro.core.sweeps import cpu_rank_sweep
+from repro.driver.params import SimulationParams
+
+SCALE = bench_scale()
+MESH = 64 if SCALE["quick"] else 128
+RANKS = (4, 16, 48) if SCALE["quick"] else (4, 8, 16, 24, 32, 48, 64, 72, 96)
+
+
+def test_fig7_cpu_strong_scaling(benchmark, save_report, scale):
+    base = SimulationParams(mesh_size=MESH, block_size=8, num_levels=3)
+
+    def run():
+        points = cpu_rank_sweep(base, ranks=RANKS, ncycles=scale["ncycles"])
+        rows = []
+        t4 = points[0].result.wall_seconds
+        for pt in points:
+            r = pt.result
+            ideal = t4 * RANKS[0] / pt.x
+            rows.append(
+                [
+                    int(pt.x),
+                    f"{r.wall_seconds:.3f}",
+                    f"{r.kernel_seconds:.3f}",
+                    f"{r.serial_seconds:.3f}",
+                    f"{ideal:.3f}",
+                    f"{r.fom:.3e}",
+                ]
+            )
+        return render_table(
+            ["cores", "total_s", "kernel_s", "serial_s", "ideal_total_s", "FOM"],
+            rows,
+            title=(
+                f"Fig 7: CPU strong scaling, total/kernel/serial (mesh {MESH}, "
+                "block 8, 3 levels; paper: near-ideal to 48, serial plateau >64)"
+            ),
+        )
+
+    save_report("fig07_cpu_scaling", run_once(benchmark, run))

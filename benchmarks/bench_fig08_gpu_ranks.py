@@ -1,0 +1,49 @@
+"""Fig. 8: effect of increasing MPI ranks per GPU.
+
+Paper takeaways: substantial gains up to ~12 ranks per GPU, then decline
+from collective/IPC overheads; scaling is capped by the 80 GB HBM — memory
+grows with ranks until OOM (Section IV-E).
+"""
+
+from conftest import bench_scale, run_once
+
+from repro.core.report import render_table
+from repro.core.sweeps import gpu_rank_sweep
+from repro.driver.params import SimulationParams
+
+SCALE = bench_scale()
+MESH = 64 if SCALE["quick"] else 128
+RANKS = (1, 4, 12) if SCALE["quick"] else (1, 2, 4, 6, 8, 12, 16, 24)
+
+
+def test_fig8_ranks_per_gpu(benchmark, save_report, scale):
+    base = SimulationParams(mesh_size=MESH, block_size=8, num_levels=3)
+
+    def run():
+        points = gpu_rank_sweep(base, ranks_per_gpu=RANKS, ncycles=scale["ncycles"])
+        rows = []
+        best = max(
+            (p for p in points if not p.oom),
+            key=lambda p: p.fom,
+            default=points[0],
+        )
+        for pt in points:
+            r = pt.result
+            rows.append(
+                [
+                    int(pt.x),
+                    "OOM" if pt.oom else f"{pt.fom:.3e}",
+                    f"{r.device_memory_peak / 2**30:.1f}" if r else "-",
+                    "<-- best" if pt is best else "",
+                ]
+            )
+        return render_table(
+            ["ranks/GPU", "FOM", "device GiB", ""],
+            rows,
+            title=(
+                f"Fig 8: FOM vs ranks per GPU (mesh {MESH}, block 8, 3 levels; "
+                "paper: optimum ~12 ranks, then decline / OOM)"
+            ),
+        )
+
+    save_report("fig08_gpu_ranks", run_once(benchmark, run))

@@ -1,0 +1,55 @@
+"""Fig. 9: kernel vs serial execution-time breakdown.
+
+Mesh 128, block 8, 3 levels.  Paper: the 1-rank GPU run spends ~2659 s in
+the serial portion vs ~122 s in kernels (a 21.8:1 ratio); more ranks per
+GPU shrink the serial share; CPU runs are far more balanced.
+"""
+
+from conftest import bench_scale, run_once
+
+from repro.core.characterize import characterize
+from repro.core.report import render_table
+from repro.driver.execution import ExecutionConfig
+from repro.driver.params import SimulationParams
+
+SCALE = bench_scale()
+MESH = 64 if SCALE["quick"] else 128
+
+CONFIGS = [
+    ("GPU-1R", ExecutionConfig(backend="gpu", num_gpus=1, ranks_per_gpu=1)),
+    ("GPU-6R", ExecutionConfig(backend="gpu", num_gpus=1, ranks_per_gpu=6)),
+    ("GPU-8R", ExecutionConfig(backend="gpu", num_gpus=1, ranks_per_gpu=8)),
+    ("GPU-12R", ExecutionConfig(backend="gpu", num_gpus=1, ranks_per_gpu=12)),
+    ("CPU-16R", ExecutionConfig(backend="cpu", cpu_ranks=16)),
+    ("CPU-48R", ExecutionConfig(backend="cpu", cpu_ranks=48)),
+    ("CPU-96R", ExecutionConfig(backend="cpu", cpu_ranks=96)),
+]
+
+
+def test_fig9_kernel_vs_serial(benchmark, save_report, scale):
+    base = SimulationParams(mesh_size=MESH, block_size=8, num_levels=3)
+
+    def run():
+        rows = []
+        for name, config in CONFIGS:
+            r = characterize(base, config, scale["ncycles"], scale["warmup"])
+            ratio = r.serial_seconds / max(r.kernel_seconds, 1e-12)
+            rows.append(
+                [
+                    name,
+                    f"{r.wall_seconds:.3f}",
+                    f"{r.kernel_seconds:.3f}",
+                    f"{r.serial_seconds:.3f}",
+                    f"{ratio:.1f}",
+                ]
+            )
+        return render_table(
+            ["config", "total_s", "kernel_s", "serial_s", "serial:kernel"],
+            rows,
+            title=(
+                f"Fig 9: execution-time breakdown (mesh {MESH}, block 8, "
+                "3 levels; paper GPU-1R serial:kernel ~ 2659:122 = 21.8)"
+            ),
+        )
+
+    save_report("fig09_breakdown", run_once(benchmark, run))

@@ -1,0 +1,53 @@
+"""Fig. 10: GPU device memory breakdown vs rank count.
+
+Mesh 128, block 8, 3 levels.  Paper: Kokkos-managed allocations (mesh +
+auxiliary buffers) are a large, nearly constant fraction; MPI communication
+buffers + the Open MPI driver (with its IPC-cache leak) drive the growth
+with ranks; 12 ranks reach 75.5 GB, close to the 80 GB HBM capacity.
+"""
+
+from conftest import bench_scale, run_once
+
+from repro.core.characterize import characterize
+from repro.core.report import render_table
+from repro.driver.execution import ExecutionConfig
+from repro.driver.params import SimulationParams
+
+SCALE = bench_scale()
+MESH = 64 if SCALE["quick"] else 128
+RANKS = (1, 6, 12) if SCALE["quick"] else (1, 6, 8, 12, 16)
+
+
+def test_fig10_memory_breakdown(benchmark, save_report, scale):
+    base = SimulationParams(mesh_size=MESH, block_size=8, num_levels=3)
+
+    def run():
+        rows = []
+        for ranks in RANKS:
+            config = ExecutionConfig(
+                backend="gpu", num_gpus=1, ranks_per_gpu=ranks
+            )
+            r = characterize(base, config, scale["ncycles"], scale["warmup"])
+            m = r.memory_breakdown
+            kokkos = (m["kokkos_mesh"] + m["kokkos_aux"]) / 2**30
+            mpi = (m["mpi_buffers"] + m["mpi_driver"]) / 2**30
+            rows.append(
+                [
+                    ranks,
+                    f"{kokkos:.1f}",
+                    f"{mpi:.1f}",
+                    f"{r.device_memory_peak / 2**30:.1f}",
+                    "OOM" if r.oom else "",
+                ]
+            )
+        return render_table(
+            ["ranks/GPU", "Kokkos GiB", "MPI bufs+driver GiB", "total GiB", ""],
+            rows,
+            title=(
+                f"Fig 10: device memory by source vs ranks (mesh {MESH}, "
+                "block 8, 3 levels; paper: Kokkos ~constant, MPI grows, "
+                "12R ~ 75.5 GB of 80 GB HBM)"
+            ),
+        )
+
+    save_report("fig10_memory", run_once(benchmark, run))

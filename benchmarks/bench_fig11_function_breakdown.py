@@ -1,0 +1,82 @@
+"""Fig. 11: runtime share of the timestep loop's key functions.
+
+Mesh 128, block 8, 3 levels, across GPU {1,6,8}R and CPU {16,48,96}R.
+Paper: low-rank GPU runs are dominated by RedistributeAndRefineMeshBlocks,
+SendBoundBufs and SetBounds (Redistribute falls from >1100 s at 1R to
+263 s at 8R); CPU runs are balanced, with CalculateFluxes/WeightedSumData
+dominating at 16 ranks and shrinking with core count.
+"""
+
+from conftest import bench_scale, run_once
+
+from repro.core.characterize import characterize
+from repro.core.report import render_table
+from repro.driver.execution import ExecutionConfig
+from repro.driver.params import SimulationParams
+
+SCALE = bench_scale()
+MESH = 64 if SCALE["quick"] else 128
+
+CONFIGS = [
+    ("GPU-1R", ExecutionConfig(backend="gpu", num_gpus=1, ranks_per_gpu=1)),
+    ("GPU-6R", ExecutionConfig(backend="gpu", num_gpus=1, ranks_per_gpu=6)),
+    ("GPU-8R", ExecutionConfig(backend="gpu", num_gpus=1, ranks_per_gpu=8)),
+    ("CPU-16R", ExecutionConfig(backend="cpu", cpu_ranks=16)),
+    ("CPU-48R", ExecutionConfig(backend="cpu", cpu_ranks=48)),
+    ("CPU-96R", ExecutionConfig(backend="cpu", cpu_ranks=96)),
+]
+
+FUNCTIONS = [
+    "RedistributeAndRefineMeshBlocks",
+    "SendBoundBufs",
+    "SetBounds",
+    "ReceiveBoundBufs",
+    "CalculateFluxes",
+    "WeightedSumData",
+    "FluxDivergence",
+    "Refinement::Tag",
+    "UpdateMeshBlockTree",
+    "EstimateTimeStep",
+]
+
+
+def test_fig11_function_shares(benchmark, save_report, scale):
+    base = SimulationParams(mesh_size=MESH, block_size=8, num_levels=3)
+
+    def run():
+        results = {
+            name: characterize(base, cfg, scale["ncycles"], scale["warmup"])
+            for name, cfg in CONFIGS
+        }
+        headers = ["function"] + [name for name, _ in CONFIGS]
+        rows = []
+        for fn in FUNCTIONS:
+            row = [fn]
+            for name, _ in CONFIGS:
+                r = results[name]
+                serial, kernel = r.function_breakdown.get(fn, (0.0, 0.0))
+                share = 100.0 * (serial + kernel) / r.wall_seconds
+                row.append(f"{share:.1f}%")
+            rows.append(row)
+        rows.append(
+            ["TOTAL seconds"]
+            + [f"{results[name].wall_seconds:.2f}" for name, _ in CONFIGS]
+        )
+        rows.append(
+            ["Redistribute seconds"]
+            + [
+                f"{sum(results[name].function_breakdown.get(FUNCTIONS[0], (0, 0))):.2f}"
+                for name, _ in CONFIGS
+            ]
+        )
+        return render_table(
+            headers,
+            rows,
+            title=(
+                f"Fig 11: runtime share by function (mesh {MESH}, block 8, "
+                "3 levels; paper: Redistribute dominates GPU-1R, drops "
+                ">4x by 8R)"
+            ),
+        )
+
+    save_report("fig11_function_breakdown", run_once(benchmark, run))

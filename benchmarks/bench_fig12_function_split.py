@@ -1,0 +1,63 @@
+"""Fig. 12: per-function serial vs kernel split across configurations.
+
+Mesh 128, block 8, 3 levels.  Paper: at 1 GPU rank every function shows a
+large gap between its serial (host) and kernel (device) time; raising ranks
+closes the gap; CPU runs are kernel-dominated per function.
+"""
+
+from conftest import bench_scale, run_once
+
+from repro.core.characterize import characterize
+from repro.core.report import render_table
+from repro.driver.execution import ExecutionConfig
+from repro.driver.params import SimulationParams
+
+SCALE = bench_scale()
+MESH = 64 if SCALE["quick"] else 128
+
+CONFIGS = [
+    ("GPU-1R", ExecutionConfig(backend="gpu", num_gpus=1, ranks_per_gpu=1)),
+    ("GPU-8R", ExecutionConfig(backend="gpu", num_gpus=1, ranks_per_gpu=8)),
+    ("CPU-48R", ExecutionConfig(backend="cpu", cpu_ranks=48)),
+]
+
+FUNCTIONS = [
+    "CalculateFluxes",
+    "SendBoundBufs",
+    "SetBounds",
+    "RedistributeAndRefineMeshBlocks",
+    "Refinement::Tag",
+    "EstimateTimeStep",
+]
+
+
+def test_fig12_serial_vs_kernel_by_function(benchmark, save_report, scale):
+    base = SimulationParams(mesh_size=MESH, block_size=8, num_levels=3)
+
+    def run():
+        results = {
+            name: characterize(base, cfg, scale["ncycles"], scale["warmup"])
+            for name, cfg in CONFIGS
+        }
+        headers = ["function"]
+        for name, _ in CONFIGS:
+            headers += [f"{name} serial_s", f"{name} kernel_s"]
+        rows = []
+        for fn in FUNCTIONS:
+            row = [fn]
+            for name, _ in CONFIGS:
+                serial, kernel = results[name].function_breakdown.get(
+                    fn, (0.0, 0.0)
+                )
+                row += [f"{serial:.4f}", f"{kernel:.4f}"]
+            rows.append(row)
+        return render_table(
+            headers,
+            rows,
+            title=(
+                f"Fig 12: per-function serial vs kernel time (mesh {MESH}, "
+                "block 8, 3 levels; paper: GPU-1R serial >> kernel everywhere)"
+            ),
+        )
+
+    save_report("fig12_function_split", run_once(benchmark, run))

@@ -1,0 +1,73 @@
+"""Fig. 13: CPU instruction opcode distribution.
+
+Mesh 128, block sizes 16 and 32, 3 AMR levels, 16 MPI ranks.  Paper:
+vector opcodes dominate Total and Kernel; kernel instructions are >99% of
+the total; serial is 39-41% loads/stores; the kernel vector share falls
+from ~63% (B32) to ~52% (B16).
+"""
+
+from conftest import bench_scale, run_once
+
+from repro.core.characterize import characterize
+from repro.core.opcode_analysis import opcode_breakdown
+from repro.core.report import render_table
+from repro.driver.execution import ExecutionConfig
+from repro.driver.params import SimulationParams
+from repro.hardware.opcode import CATEGORIES
+
+SCALE = bench_scale()
+MESH = 64 if SCALE["quick"] else 128
+CPU_16 = ExecutionConfig(backend="cpu", cpu_ranks=16)
+
+
+def test_fig13_opcode_distribution(benchmark, save_report, scale):
+    def run():
+        rows = []
+        shares = {}
+        for block in (16, 32):
+            r = characterize(
+                SimulationParams(mesh_size=MESH, block_size=block, num_levels=3),
+                CPU_16,
+                scale["ncycles"],
+                scale["warmup"],
+            )
+            b = opcode_breakdown(r)
+            shares[block] = b
+            for part, mix in (
+                ("Total", b.total),
+                ("Serial", b.serial),
+                ("Kernel", b.kernel),
+            ):
+                rows.append(
+                    [f"B{block} {part}"]
+                    + [f"{mix.fraction(c) * 100:.1f}" for c in CATEGORIES]
+                )
+        rows.append(
+            [
+                "anchors",
+                "kern vec: B32~63 B16~52 (paper)",
+                "serial ld+st 39-41%",
+                "",
+                "",
+                "",
+                "",
+            ]
+        )
+        rows.append(
+            [
+                "kernel instr share",
+                f"B16 {shares[16].kernel_instruction_share * 100:.1f}%",
+                f"B32 {shares[32].kernel_instruction_share * 100:.1f}%",
+                "(paper >99%)",
+                "",
+                "",
+                "",
+            ]
+        )
+        return render_table(
+            ["portion"] + [f"{c} %" for c in CATEGORIES],
+            rows,
+            title=f"Fig 13: CPU opcode distribution (mesh {MESH}, 3 levels, 16 ranks)",
+        )
+
+    save_report("fig13_opcodes", run_once(benchmark, run))

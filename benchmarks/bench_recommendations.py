@@ -1,0 +1,42 @@
+"""Section VIII as a tool: the automatic bottleneck advisor.
+
+Runs the paper's worst configuration (1 GPU - 1 rank, small blocks, deep
+AMR) and prints the ranked serial bottlenecks with their Amdahl ceilings
+and the matching paper recommendations.
+"""
+
+from conftest import bench_scale, run_once
+
+from repro.core.characterize import characterize
+from repro.core.recommendations import render_recommendations
+from repro.driver.execution import ExecutionConfig
+from repro.driver.params import SimulationParams
+
+SCALE = bench_scale()
+MESH = 64 if SCALE["quick"] else 128
+
+
+def test_bottleneck_advisor_gpu_1r(benchmark, save_report, scale):
+    def run():
+        result = characterize(
+            SimulationParams(mesh_size=MESH, block_size=8, num_levels=3),
+            ExecutionConfig(backend="gpu", num_gpus=1, ranks_per_gpu=1),
+            scale["ncycles"],
+            scale["warmup"],
+        )
+        return render_recommendations(result)
+
+    save_report("recommendations_gpu1r", run_once(benchmark, run))
+
+
+def test_bottleneck_advisor_best_rank(benchmark, save_report, scale):
+    def run():
+        result = characterize(
+            SimulationParams(mesh_size=MESH, block_size=8, num_levels=3),
+            ExecutionConfig(backend="gpu", num_gpus=1, ranks_per_gpu=12),
+            scale["ncycles"],
+            scale["warmup"],
+        )
+        return render_recommendations(result)
+
+    save_report("recommendations_gpu12r", run_once(benchmark, run))

@@ -1,0 +1,45 @@
+"""Roofline placement of the Table III kernels (Section VII-A).
+
+The H100's machine balance is ~10.1 FLOPs/byte (34 TFLOP/s over 3.35 TB/s);
+every VIBE kernel sits below it — all memory-bound — yet achieves a small
+fraction of peak bandwidth because of sparse block-local access patterns.
+"""
+
+from conftest import run_once
+
+from repro.core.report import render_table
+from repro.hardware.roofline import roofline_point
+from repro.hardware.specs import H100_SXM
+from repro.kokkos.kernel import KERNEL_PROFILES
+
+
+def test_roofline_positions(benchmark, save_report):
+    def run():
+        rows = []
+        for name, p in sorted(KERNEL_PROFILES.items()):
+            if name == "CalculateFluxes3D":
+                continue  # the ablation variant
+            pt = roofline_point(H100_SXM, p.arithmetic_intensity)
+            rows.append(
+                [
+                    name,
+                    f"{p.arithmetic_intensity:.2f}",
+                    "memory" if pt.memory_bound else "compute",
+                    f"{pt.attainable_fraction_of_peak(H100_SXM.peak_fp64_flops) * 100:.1f}%",
+                ]
+            )
+        rows.append(
+            [
+                "H100 balance",
+                f"{H100_SXM.operational_intensity:.1f}",
+                "(paper: 10.1)",
+                "",
+            ]
+        )
+        return render_table(
+            ["kernel", "FLOPs/byte", "bound by", "attainable FP64 (% peak)"],
+            rows,
+            title="Roofline placement of the VIBE kernels on the H100",
+        )
+
+    save_report("roofline", run_once(benchmark, run))

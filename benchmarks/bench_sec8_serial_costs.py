@@ -1,0 +1,71 @@
+"""Section VIII-A: the serial-bottleneck inventory.
+
+Quantifies the host-side costs the paper's recommendations target: string
+variable lookup, InitializeBufferCache sort+shuffle, RebuildBufferCache
+(paper: ~13.3% of total runtime at 1 GPU-1 rank, mesh 128, block 16,
+3 levels), and refinement tagging.
+"""
+
+from conftest import bench_scale, run_once
+
+from repro.core.report import render_table
+from repro.driver.driver import ParthenonDriver
+from repro.driver.execution import ExecutionConfig
+from repro.driver.params import SimulationParams
+
+SCALE = bench_scale()
+MESH = 64 if SCALE["quick"] else 128
+GPU_1R = ExecutionConfig(backend="gpu", num_gpus=1, ranks_per_gpu=1)
+
+
+def test_sec8_rebuild_buffer_cache_share(benchmark, save_report, scale):
+    def run():
+        params = SimulationParams(mesh_size=MESH, block_size=16, num_levels=3)
+        driver = ParthenonDriver(params, GPU_1R)
+        r = driver.run(scale["ncycles"], warmup=scale["warmup"])
+        share = 100.0 * r.rebuild_buffer_cache_seconds / r.wall_seconds
+        rows = [
+            ["RebuildBufferCache seconds", f"{r.rebuild_buffer_cache_seconds:.3f}"],
+            ["total seconds", f"{r.wall_seconds:.3f}"],
+            ["share of runtime", f"{share:.1f}% (paper: 13.3%)"],
+        ]
+        return render_table(
+            ["quantity", "value"],
+            rows,
+            title=(
+                f"Section VIII-A: RebuildBufferCache share at 1 GPU-1R "
+                f"(mesh {MESH}, block 16, 3 levels)"
+            ),
+        )
+
+    save_report("sec8_rebuild_share", run_once(benchmark, run))
+
+
+def test_sec8_serial_cost_inventory(benchmark, save_report, scale):
+    def run():
+        params = SimulationParams(mesh_size=MESH, block_size=8, num_levels=3)
+        driver = ParthenonDriver(params, GPU_1R)
+        r = driver.run(scale["ncycles"], warmup=scale["warmup"])
+        rows = []
+        for fn in (
+            "SendBoundBufs",
+            "SetBounds",
+            "ReceiveBoundBufs",
+            "RedistributeAndRefineMeshBlocks",
+            "Refinement::Tag",
+            "UpdateMeshBlockTree",
+        ):
+            serial, _ = r.function_breakdown.get(fn, (0.0, 0.0))
+            rows.append(
+                [fn, f"{serial:.3f}", f"{100 * serial / r.serial_seconds:.1f}"]
+            )
+        return render_table(
+            ["serial code path", "seconds", "% of serial"],
+            rows,
+            title=(
+                f"Section VIII-A: serial-portion inventory at 1 GPU-1R "
+                f"(mesh {MESH}, block 8, 3 levels)"
+            ),
+        )
+
+    save_report("sec8_serial_inventory", run_once(benchmark, run))

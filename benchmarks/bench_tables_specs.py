@@ -1,0 +1,52 @@
+"""Tables I & II: the hardware specifications of the simulated platform."""
+
+from conftest import run_once
+
+from repro.core.report import render_table
+from repro.hardware.specs import H100_SXM, SAPPHIRE_RAPIDS_8468
+
+
+def test_table1_cpu_spec(benchmark, save_report):
+    def build():
+        cpu = SAPPHIRE_RAPIDS_8468
+        rows = [
+            ["Processor", cpu.name],
+            ["Number of Cores", cpu.cores],
+            ["Number of Sockets", cpu.sockets],
+            ["Base Frequency", f"{cpu.base_ghz} GHz"],
+            ["L1 Cache", f"{cpu.l1d_kb} KB (L1d) + {cpu.l1i_kb} KB (L1i) per core"],
+            ["L2 Cache", f"{cpu.l2_kb_per_core // 1024} MB per core"],
+            ["L3 Cache", f"{cpu.l3_mb_shared:.0f} MB shared"],
+            ["Memory", f"{cpu.memory_gib / 1024:.1f} TiB DDR5"],
+            ["Memory Bandwidth", f"{cpu.memory_bw_gbs} GB/s"],
+            ["Peak FP64", f"{cpu.peak_fp64_gflops / 1000:.2f} TFLOP/s (derived)"],
+        ]
+        return render_table(
+            ["Specification", "Details"], rows, title="TABLE I: CPU Specifications"
+        )
+
+    save_report("table1_cpu_spec", run_once(benchmark, build))
+
+
+def test_table2_gpu_spec(benchmark, save_report):
+    def build():
+        gpu = H100_SXM
+        rows = [
+            ["GPU Model", gpu.name],
+            ["Streaming Multiprocessors (SMs)", gpu.sms],
+            ["Base Frequency", f"{gpu.base_ghz} GHz"],
+            ["Global Memory", f"{gpu.memory_mib:,} MiB HBM3"],
+            ["Memory Bandwidth", f"{gpu.memory_bw_tbs} TB/s"],
+            ["L1 Cache + Scratchpad", f"{gpu.l1_scratch_kb} KB"],
+            ["L2 Cache", f"{gpu.l2_mb} MB"],
+            ["Peak FP64", f"{gpu.fp64_tflops} TFLOP/s"],
+            [
+                "Operational Intensity",
+                f"{gpu.operational_intensity:.1f} FLOPs/byte (paper: 10.1)",
+            ],
+        ]
+        return render_table(
+            ["Specification", "Details"], rows, title="TABLE II: GPU Specifications"
+        )
+
+    save_report("table2_gpu_spec", run_once(benchmark, build))

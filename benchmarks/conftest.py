@@ -1,0 +1,66 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one of the paper's tables or figures as a
+plain-text report: printed to stdout (visible with ``pytest -s``) and saved
+under ``benchmarks/output/`` so the artifacts survive the run.
+
+Scaling: ``REPRO_BENCH_SCALE=quick`` shrinks the workloads (smaller meshes,
+fewer cycles) for smoke runs; the default ``paper`` scale uses the paper's
+mesh/block/level parameters.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+#: Reports land here; override with REPRO_BENCH_OUTPUT_DIR (e.g. to keep a
+#: quick-scale smoke run from overwriting paper-scale artifacts).
+OUTPUT_DIR = Path(
+    os.environ.get(
+        "REPRO_BENCH_OUTPUT_DIR", str(Path(__file__).parent / "output")
+    )
+)
+
+#: Measured cycles / warmup cycles per configuration.
+PAPER_SCALE = {"ncycles": 3, "warmup": 2, "quick": False}
+QUICK_SCALE = {"ncycles": 2, "warmup": 1, "quick": True}
+
+
+def bench_scale() -> dict:
+    if os.environ.get("REPRO_BENCH_SCALE", "paper") == "quick":
+        return dict(QUICK_SCALE)
+    return dict(PAPER_SCALE)
+
+
+@pytest.fixture(scope="session")
+def scale() -> dict:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture
+def save_report(report_dir):
+    """Print a report block and persist it under benchmarks/output/."""
+
+    def _save(name: str, text: str) -> None:
+        print("\n" + text + "\n")
+        (report_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _save
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    These are simulation-replay benchmarks: repeated rounds would re-run
+    multi-second platform simulations for no statistical benefit.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,98 @@
+"""A 3D expanding blast — the paper's ripples-on-water picture, numerically.
+
+A spherical Gaussian velocity pulse expands outward in 3D; AMR tracks the
+steepening front (refining near it, derefining behind it), and the run
+reports how the mesh and the conserved quantities evolve.  This is the
+workload class Parthenon-VIBE proxies for ATS-5.
+
+Run:  python examples/expanding_blast_3d.py
+"""
+
+import numpy as np
+
+from repro.core.report import render_table
+from repro.driver.driver import ParthenonDriver
+from repro.driver.execution import ExecutionConfig
+from repro.driver.params import SimulationParams
+from repro.solver.burgers import CONSERVED
+from repro.solver.initial_conditions import gaussian_blob
+
+
+def main() -> None:
+    params = SimulationParams(
+        ndim=3,
+        mesh_size=32,
+        block_size=8,
+        num_levels=2,
+        num_scalars=2,
+        reconstruction="plm",
+        cfl=0.3,
+        refine_tol=0.5,  # refine only the steep shell of the blast
+        derefine_tol=0.08,
+    )
+    config = ExecutionConfig(
+        backend="gpu", num_gpus=1, ranks_per_gpu=4, mode="numeric"
+    )
+    driver = ParthenonDriver(
+        params,
+        config,
+        initial_conditions=lambda mesh, pkg: gaussian_blob(
+            mesh, pkg, amplitude=0.8, width=0.15
+        ),
+    )
+    print(f"3D blast: mesh {params.mesh_size}^3, block {params.block_size}^3, "
+          f"{params.num_levels} levels, {driver.mesh.num_blocks} root blocks")
+
+    rows = []
+    for _ in range(6):
+        driver.do_cycle()
+        h = driver.history[-1]
+        # Radius of the front: max |u| location proxy via velocity moment.
+        rows.append(
+            [
+                driver.cycle,
+                f"{driver.time:.4f}",
+                driver.mesh.num_blocks,
+                dict(driver.mesh.level_counts()),
+                f"{h.scalar_totals[0]:.10f}",
+                f"{h.max_speed:.3f}",
+            ]
+        )
+    print()
+    print(
+        render_table(
+            ["cycle", "time", "blocks", "blocks/level", "total q0", "max |u|"],
+            rows,
+            title="Blast evolution: AMR follows the expanding front",
+        )
+    )
+
+    result = driver.result()
+    drift = abs(
+        driver.history[-1].scalar_totals[0]
+        - driver.history[0].scalar_totals[0]
+    )
+    print(f"\nq0 conservation drift: {drift:.3e}")
+    print(
+        f"simulated {config.describe()}: FOM {result.fom:.3e} zone-cycles/s, "
+        f"{result.cells_communicated:,} ghost cells communicated"
+    )
+
+    # Peek at the solution: the radial velocity profile along the x-axis.
+    mid = []
+    for blk in driver.mesh.block_list:
+        lo2, hi2 = blk.bounds[1]
+        lo3, hi3 = blk.bounds[2]
+        if lo2 <= 0.5 < hi2 and lo3 <= 0.5 < hi3:
+            xs = blk.cell_centers(0, include_ghosts=False)
+            j = np.argmin(np.abs(blk.cell_centers(1, include_ghosts=False) - 0.5))
+            k = np.argmin(np.abs(blk.cell_centers(2, include_ghosts=False) - 0.5))
+            u = blk.interior(CONSERVED)[0][k, j, :]
+            mid.extend(zip(xs, u))
+    mid.sort()
+    print("\nu_x along the midline (x, u):")
+    print("  " + "  ".join(f"({x:.2f},{u:+.2f})" for x, u in mid[::4]))
+
+
+if __name__ == "__main__":
+    main()

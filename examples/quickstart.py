@@ -1,0 +1,75 @@
+"""Quickstart: solve the 2D Burgers equation with AMR, end to end.
+
+Runs a real (numeric) simulation: a Gaussian velocity pulse expands, the
+first-derivative criterion refines the mesh around the steepening front, and
+flux correction keeps every conserved total exact across refinement
+boundaries.  Alongside the physics, the simulated-platform instrumentation
+reports what the same run would cost on an H100.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core.report import render_breakdown, render_table
+from repro.driver.driver import ParthenonDriver
+from repro.driver.execution import ExecutionConfig
+from repro.driver.params import SimulationParams
+from repro.solver.initial_conditions import gaussian_blob
+
+
+def main() -> None:
+    params = SimulationParams(
+        ndim=2,
+        mesh_size=64,
+        block_size=8,
+        num_levels=3,
+        num_scalars=1,
+        reconstruction="plm",  # 2 ghost cells -> fast small blocks
+        cfl=0.4,
+    )
+    config = ExecutionConfig(
+        backend="gpu", num_gpus=1, ranks_per_gpu=1, mode="numeric"
+    )
+    driver = ParthenonDriver(
+        params, config, initial_conditions=gaussian_blob
+    )
+    print(f"mesh {params.mesh_size}^2, blocks of {params.block_size}^2, "
+          f"{params.num_levels} AMR levels, {driver.mesh.num_blocks} initial blocks")
+
+    result = driver.run(ncycles=8)
+
+    rows = []
+    for h in result.history:
+        rows.append(
+            [
+                h.cycle,
+                f"{h.time:.4f}",
+                driver.mesh.num_blocks if h is result.history[-1] else "",
+                f"{h.scalar_totals[0]:.12f}",
+                f"{h.total_d:.6f}",
+                f"{h.max_speed:.3f}",
+            ]
+        )
+    print()
+    print(
+        render_table(
+            ["cycle", "time", "blocks", "total q0 (conserved)", "total d", "max |u|"],
+            rows,
+            title="History (MassHistory reductions)",
+        )
+    )
+    drift = abs(
+        result.history[-1].scalar_totals[0] - result.history[0].scalar_totals[0]
+    )
+    print(f"\nconservation drift of q0 over the run: {drift:.3e}")
+    print(f"final mesh: {driver.mesh.num_blocks} blocks, "
+          f"levels {driver.mesh.level_counts()}")
+
+    print(f"\nsimulated platform: {config.describe()}")
+    print(f"FOM = {result.fom:.3e} zone-cycles/s "
+          f"(kernel {result.kernel_seconds:.4f}s, serial {result.serial_seconds:.4f}s)")
+    print()
+    print(render_breakdown(result, "Where the simulated time went", top=8))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,215 @@
+"""Command-line interface: run decks, characterize configs, sweep axes.
+
+Usage::
+
+    python -m repro run input.vibe [--cycles N]
+    python -m repro characterize --mesh 128 --block 16 --levels 3 \
+        --backend gpu --gpus 1 --ranks 12 [--cycles N]
+    python -m repro sweep {block,mesh,levels,gpu-ranks,cpu-ranks} [options]
+    python -m repro deck --mesh 128 --block 16 ...   # emit an input deck
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.characterize import characterize, kernel_fraction
+from repro.core.report import render_breakdown, render_memory, render_sweep, render_table
+from repro.driver.driver import ParthenonDriver
+from repro.driver.execution import ExecutionConfig
+from repro.driver.input import load_input, render_input
+from repro.driver.params import SimulationParams
+
+
+def _add_config_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--mesh", type=int, default=128, help="cells per dimension")
+    p.add_argument("--block", type=int, default=16, help="MeshBlock size")
+    p.add_argument("--levels", type=int, default=3, help="#AMR levels")
+    p.add_argument("--ndim", type=int, default=3, choices=(1, 2, 3))
+    p.add_argument("--scalars", type=int, default=8, help="passive scalars")
+    p.add_argument(
+        "--backend", choices=("gpu", "cpu"), default="gpu"
+    )
+    p.add_argument("--gpus", type=int, default=1)
+    p.add_argument("--ranks", type=int, default=1, help="ranks per GPU / CPU ranks")
+    p.add_argument("--nodes", type=int, default=1)
+    p.add_argument("--cycles", type=int, default=3)
+    p.add_argument("--warmup", type=int, default=2)
+
+
+def _build(args) -> tuple:
+    params = SimulationParams(
+        ndim=args.ndim,
+        mesh_size=args.mesh,
+        block_size=args.block,
+        num_levels=args.levels,
+        num_scalars=args.scalars,
+    )
+    if args.backend == "gpu":
+        config = ExecutionConfig(
+            backend="gpu",
+            num_gpus=args.gpus,
+            ranks_per_gpu=args.ranks,
+            num_nodes=args.nodes,
+        )
+    else:
+        config = ExecutionConfig(
+            backend="cpu", cpu_ranks=args.ranks, num_nodes=args.nodes
+        )
+    return params, config
+
+
+def _print_result(result) -> None:
+    print(f"configuration : {result.config.describe()}")
+    print(
+        f"mesh {result.params.mesh_size}^{result.params.ndim}, "
+        f"block {result.params.block_size}, "
+        f"{result.params.num_levels} levels"
+    )
+    print(f"cycles        : {result.cycles} (final blocks {result.final_blocks})")
+    print(f"FOM           : {result.fom:.4e} zone-cycles/s")
+    print(
+        f"time          : {result.wall_seconds:.3f}s "
+        f"(kernel {result.kernel_seconds:.3f}s / serial {result.serial_seconds:.3f}s, "
+        f"kernel fraction {kernel_fraction(result) * 100:.1f}%)"
+    )
+    print(
+        f"communication : {result.cells_communicated:,} ghost cells, "
+        f"{result.remote_messages:,} remote messages"
+    )
+    if result.oom:
+        print("!! configuration ran out of device memory")
+    print()
+    print(render_breakdown(result, "Function breakdown", top=10))
+    print()
+    print(render_memory(result, "Device memory (most-loaded device)"))
+
+
+def cmd_run(args) -> int:
+    params, config = load_input(args.input)
+    driver = ParthenonDriver(params, config)
+    result = driver.run(args.cycles, warmup=args.warmup)
+    _print_result(result)
+    return 0
+
+
+def cmd_characterize(args) -> int:
+    import json
+
+    from repro.driver.driver import ParthenonDriver
+
+    params, config = _build(args)
+    driver = ParthenonDriver(params, config)
+    result = driver.run(args.cycles, warmup=args.warmup)
+    _print_result(result)
+    if getattr(args, "trace", None):
+        with open(args.trace, "w") as f:
+            json.dump(driver.prof.to_chrome_trace(), f)
+        print(f"\nchrome trace written to {args.trace} "
+              "(open in chrome://tracing or Perfetto)")
+    return 0
+
+
+def cmd_deck(args) -> int:
+    params, config = _build(args)
+    sys.stdout.write(render_input(params, config))
+    return 0
+
+
+def cmd_recommend(args) -> int:
+    from repro.core.recommendations import render_recommendations
+
+    params, config = _build(args)
+    result = characterize(params, config, args.cycles, args.warmup)
+    print(render_recommendations(result))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from repro.core import sweeps
+
+    params, config = _build(args)
+    if args.axis == "block":
+        series = sweeps.block_size_sweep(
+            params, {config.describe(): config}, ncycles=args.cycles
+        )
+        print(render_sweep(series, "block size", "FOM vs MeshBlockSize"))
+    elif args.axis == "mesh":
+        series = sweeps.mesh_size_sweep(
+            params, {config.describe(): config}, ncycles=args.cycles
+        )
+        print(render_sweep(series, "mesh size", "FOM vs mesh size"))
+    elif args.axis == "levels":
+        series = sweeps.amr_level_sweep(
+            params, {config.describe(): config}, ncycles=args.cycles
+        )
+        print(render_sweep(series, "#AMR levels", "FOM vs AMR depth"))
+    elif args.axis == "gpu-ranks":
+        points = sweeps.gpu_rank_sweep(
+            params, num_gpus=args.gpus, ncycles=args.cycles
+        )
+        rows = [
+            [int(p.x), "OOM" if p.oom else f"{p.fom:.3e}"] for p in points
+        ]
+        print(render_table(["ranks/GPU", "FOM"], rows, "FOM vs ranks per GPU"))
+    else:  # cpu-ranks
+        points = sweeps.cpu_rank_sweep(params, ncycles=args.cycles)
+        rows = [
+            [int(p.x), f"{p.fom:.3e}", f"{p.result.serial_seconds:.3f}"]
+            for p in points
+        ]
+        print(
+            render_table(
+                ["cores", "FOM", "serial_s"], rows, "CPU strong scaling"
+            )
+        )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parthenon-VIBE AMR characterization (IISWC 2025 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run a Parthenon-style input deck")
+    p_run.add_argument("input", help="path to the input deck")
+    p_run.add_argument("--cycles", type=int, default=5)
+    p_run.add_argument("--warmup", type=int, default=0)
+    p_run.set_defaults(fn=cmd_run)
+
+    p_char = sub.add_parser(
+        "characterize", help="run one configuration and print its report"
+    )
+    _add_config_args(p_char)
+    p_char.add_argument(
+        "--trace", help="write a chrome://tracing timeline JSON here"
+    )
+    p_char.set_defaults(fn=cmd_characterize)
+
+    p_deck = sub.add_parser("deck", help="emit an input deck for a config")
+    _add_config_args(p_deck)
+    p_deck.set_defaults(fn=cmd_deck)
+
+    p_sweep = sub.add_parser("sweep", help="sweep one parameter axis")
+    p_sweep.add_argument(
+        "axis", choices=("block", "mesh", "levels", "gpu-ranks", "cpu-ranks")
+    )
+    _add_config_args(p_sweep)
+    p_sweep.set_defaults(fn=cmd_sweep)
+
+    p_rec = sub.add_parser(
+        "recommend", help="rank serial bottlenecks with §VIII advice"
+    )
+    _add_config_args(p_rec)
+    p_rec.set_defaults(fn=cmd_recommend)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,134 @@
+"""Simulated MPI: in-process ranks with full traffic accounting.
+
+The paper's rank-scaling findings (Sections IV-D/E) hinge on message counts,
+collective participation, and per-rank driver memory — quantities this layer
+records exactly while data moves through ordinary Python copies.  The cost of
+each recorded operation is assigned later by :mod:`repro.hardware`.
+
+Collectives mirror the two Parthenon uses the paper highlights:
+``All-Gather`` of refinement flags in ``UpdateMeshBlockTree`` and
+``All-Reduce`` of the timestep in ``EstimateTimeStep``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass
+class MPICounters:
+    """Traffic recorded since the last reset (typically one cycle)."""
+
+    remote_messages: int = 0
+    remote_bytes: int = 0
+    local_copies: int = 0
+    local_bytes: int = 0
+    iprobe_calls: int = 0
+    test_calls: int = 0
+    allgather_calls: int = 0
+    allgather_bytes: int = 0
+    allreduce_calls: int = 0
+    allreduce_bytes: int = 0
+
+    def merge(self, other: "MPICounters") -> None:
+        for name in vars(other):
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+
+class SimMPI:
+    """A communicator over ``nranks`` simulated ranks.
+
+    ``nnodes`` models the multi-node experiments of Section V: messages
+    between ranks on different nodes are counted separately so the cost model
+    can charge inter-node latency/bandwidth.
+    Ranks are assigned to nodes round-robin in contiguous chunks.
+    """
+
+    def __init__(self, nranks: int, nnodes: int = 1) -> None:
+        if nranks < 1:
+            raise ValueError(f"nranks must be >= 1, got {nranks}")
+        if nnodes < 1 or nnodes > nranks:
+            raise ValueError(f"nnodes must be in [1, nranks], got {nnodes}")
+        self.nranks = nranks
+        self.nnodes = nnodes
+        self.cycle = MPICounters()
+        self.total = MPICounters()
+        self.internode_messages = 0
+        self.internode_bytes = 0
+        # Persistent communication buffers registered per rank (bytes),
+        # the pink region of Fig. 10.
+        self._registered: Dict[int, int] = {r: 0 for r in range(nranks)}
+
+    # ------------------------------------------------------------- helpers
+
+    def node_of(self, rank: int) -> int:
+        """Node hosting ``rank`` (contiguous chunks of ranks per node)."""
+        per_node = (self.nranks + self.nnodes - 1) // self.nnodes
+        return rank // per_node
+
+    # ------------------------------------------------------------ traffic
+
+    def send(self, src: int, dst: int, nbytes: int) -> None:
+        """Record one point-to-point message (or local copy)."""
+        self.send_bulk(src, dst, 1, nbytes)
+
+    def send_bulk(self, src: int, dst: int, count: int, nbytes: int) -> None:
+        """Record ``count`` messages totalling ``nbytes`` between two ranks."""
+        if src == dst:
+            self.cycle.local_copies += count
+            self.cycle.local_bytes += nbytes
+        else:
+            self.cycle.remote_messages += count
+            self.cycle.remote_bytes += nbytes
+            if self.node_of(src) != self.node_of(dst):
+                self.internode_messages += count
+                self.internode_bytes += nbytes
+
+    def iprobe(self, npolls: int = 1) -> None:
+        """Record ``MPI_Iprobe`` polling used to nudge progress (§II-D)."""
+        self.cycle.iprobe_calls += npolls
+
+    def test(self, ncalls: int = 1) -> None:
+        """Record ``MPI_Test`` completion checks."""
+        self.cycle.test_calls += ncalls
+
+    def allgather(self, bytes_per_rank: int) -> None:
+        """Record an All-Gather over every rank."""
+        self.cycle.allgather_calls += 1
+        self.cycle.allgather_bytes += bytes_per_rank * self.nranks
+
+    def allreduce(self, nbytes: int = 8) -> None:
+        """Record an All-Reduce (e.g. the global minimum timestep)."""
+        self.cycle.allreduce_calls += 1
+        self.cycle.allreduce_bytes += nbytes
+
+    # ------------------------------------------------------------- memory
+
+    def register_buffers(self, rank: int, nbytes: int) -> None:
+        """Grow rank-local persistent communication buffer registration."""
+        self._registered[rank] = self._registered.get(rank, 0) + nbytes
+
+    def release_buffers(self, rank: int, nbytes: int) -> None:
+        self._registered[rank] = max(0, self._registered.get(rank, 0) - nbytes)
+
+    def set_registered_buffer_bytes(self, per_rank: Dict[int, int]) -> None:
+        """Replace the registration map wholesale (after a buffer rebuild)."""
+        self._registered = {r: 0 for r in range(self.nranks)}
+        for rank, nbytes in per_rank.items():
+            self._registered[rank] = nbytes
+
+    def registered_buffer_bytes(self, rank: int) -> int:
+        return self._registered.get(rank, 0)
+
+    def total_registered_bytes(self) -> int:
+        return sum(self._registered.values())
+
+    # ------------------------------------------------------------ lifecycle
+
+    def end_cycle(self) -> MPICounters:
+        """Fold the per-cycle counters into totals; return the cycle's."""
+        done = self.cycle
+        self.total.merge(done)
+        self.cycle = MPICounters()
+        return done

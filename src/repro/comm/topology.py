@@ -1,0 +1,59 @@
+"""Neighbor topology: which leaves touch which, across refinement levels.
+
+Rebuilt after every tree change — Parthenon's ``SetMeshBlockNeighbors`` /
+``BuildTagMapAndBoundaryBuffers`` step (Section II-E).  The per-block
+neighbor lists drive both the actual data exchange and the serial cost model
+(buffer-cache setup cost scales with the number of neighbor pairs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.mesh.logical_location import LogicalLocation
+from repro.mesh.mesh import Mesh
+from repro.mesh.tree import neighbor_offsets
+
+Offset = Tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class NeighborInfo:
+    """One neighbor of a block, seen from the block's (receiver's) side.
+
+    ``offset`` points from the block toward the neighbor; ``delta`` is
+    ``neighbor.level - block.level`` ∈ {-1, 0, +1} under the 2:1 rule.
+    """
+
+    offset: Offset
+    nloc: LogicalLocation
+    delta: int
+
+    @property
+    def face_rank(self) -> int:
+        """Number of nonzero offset components: 1 face, 2 edge, 3 corner."""
+        return sum(1 for o in self.offset if o != 0)
+
+
+def neighbors_of_block(mesh: Mesh, lloc: LogicalLocation) -> List[NeighborInfo]:
+    """All neighbors of the leaf at ``lloc``, across every offset."""
+    out: List[NeighborInfo] = []
+    for offset in neighbor_offsets(mesh.ndim):
+        for nloc, delta in mesh.tree.neighbor_leaves(lloc, offset):
+            out.append(NeighborInfo(offset=offset, nloc=nloc, delta=delta))
+    return out
+
+
+def build_neighbor_table(
+    mesh: Mesh,
+) -> Dict[LogicalLocation, List[NeighborInfo]]:
+    """Neighbor lists for every block in the mesh."""
+    return {
+        blk.lloc: neighbors_of_block(mesh, blk.lloc) for blk in mesh.block_list
+    }
+
+
+def count_neighbor_pairs(table: Dict[LogicalLocation, List[NeighborInfo]]) -> int:
+    """Total directed neighbor links — the number of boundary buffers."""
+    return sum(len(v) for v in table.values())

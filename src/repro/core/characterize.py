@@ -1,0 +1,61 @@
+"""One-call characterization runs, and ratio helpers for the paper's text.
+
+``characterize`` builds a driver, runs N cycles, and returns the
+:class:`~repro.driver.driver.RunResult` with everything the benchmarks
+print.  The helpers compute the derived quantities the paper's prose quotes
+(communication-to-computation ratios, growth factors between
+configurations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.driver.driver import ParthenonDriver, RunResult
+from repro.driver.execution import ExecutionConfig
+from repro.driver.params import SimulationParams
+
+
+def characterize(
+    params: SimulationParams,
+    config: ExecutionConfig,
+    ncycles: int = 4,
+    warmup: int = 2,
+    initial_conditions: Optional[Callable] = None,
+) -> RunResult:
+    """Run one configuration on the simulated platform and report.
+
+    ``warmup`` cycles develop the refinement front before measurement so
+    the reported per-cycle rates reflect the steady-state block population.
+    """
+    if ncycles < 1:
+        raise ValueError(f"ncycles must be >= 1, got {ncycles}")
+    driver = ParthenonDriver(
+        params, config, initial_conditions=initial_conditions
+    )
+    return driver.run(ncycles, warmup=warmup)
+
+
+def comm_to_comp_ratio(result: RunResult) -> float:
+    """Communicated cells per cell update (Section IV-B's 10.9x metric)."""
+    if result.cell_updates == 0:
+        return float("inf")
+    return result.cells_communicated / result.cell_updates
+
+
+def growth_factor(base: RunResult, other: RunResult, attr: str) -> float:
+    """``other.attr / base.attr`` — the paper's "grows by N x" statements."""
+    b = getattr(base, attr)
+    o = getattr(other, attr)
+    if b == 0:
+        raise ValueError(f"base {attr} is zero")
+    return o / b
+
+
+def kernel_fraction(result: RunResult) -> float:
+    """Fraction of wall time inside Kokkos kernels (Section IV-C's
+    31.2% / 23.4% / 17.9% series)."""
+    if result.wall_seconds == 0:
+        return 0.0
+    return result.kernel_seconds / result.wall_seconds

@@ -1,0 +1,31 @@
+"""The figure of merit: zone-cycles per second (Section III-A).
+
+``zone-cycles = N_blocks x B_x x B_y x B_z`` summed over all simulation
+cycles — i.e. total cell updates — divided by wall-clock seconds.  Higher is
+better; this is the metric on every performance figure's Y axis.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+
+def zone_cycles(
+    blocks_per_cycle: Sequence[int], block_size: Tuple[int, int, int]
+) -> int:
+    """Total zone-cycles over a run.
+
+    ``blocks_per_cycle`` holds the block count of each executed cycle (the
+    mesh evolves, so counts differ cycle to cycle).
+    """
+    per_block = block_size[0] * block_size[1] * block_size[2]
+    if per_block <= 0:
+        raise ValueError(f"invalid block size {block_size}")
+    return per_block * sum(blocks_per_cycle)
+
+
+def zone_cycles_per_second(total_zone_cycles: int, wall_seconds: float) -> float:
+    """The FOM itself."""
+    if wall_seconds <= 0:
+        raise ValueError(f"wall_seconds must be positive, got {wall_seconds}")
+    return total_zone_cycles / wall_seconds

@@ -1,0 +1,89 @@
+"""Table III builder: per-kernel GPU microarchitecture analysis.
+
+Aggregates a run's kernel launches (with launch counts) through the GPU
+model into the Nsight-Compute-style rows the paper reports: duration, SM
+utilization, SM occupancy, warp utilization, DRAM bandwidth utilization and
+arithmetic intensity, for the N most time-consuming kernels, plus the
+duration-weighted Total row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.hardware.gpu import GPUModel, KernelMetrics
+from repro.kokkos.kernel import KernelLaunch
+
+
+@dataclass
+class MicroarchTable:
+    """Table III: per-kernel rows plus the weighted total."""
+
+    rows: List[KernelMetrics]
+    total: KernelMetrics
+
+
+def build_microarch_table(
+    launch_records: Sequence[Tuple[KernelLaunch, int]],
+    gpu_model: GPUModel,
+    top_n: int = 10,
+    per_cycle_of: int = 1,
+) -> MicroarchTable:
+    """Aggregate launch records into the Table III layout.
+
+    ``launch_records`` are (launch, count) pairs from a driver run;
+    ``per_cycle_of`` divides durations so the table reports per-cycle kernel
+    time like the paper ("CUDA kernel time during a single cycle").
+    """
+    if per_cycle_of < 1:
+        raise ValueError(f"per_cycle_of must be >= 1, got {per_cycle_of}")
+    acc: Dict[str, List[float]] = {}
+    for launch, count in launch_records:
+        m = gpu_model.kernel_metrics(launch)
+        d = m.duration_s * count
+        if m.name not in acc:
+            acc[m.name] = [0.0] * 6
+        a = acc[m.name]
+        a[0] += d
+        a[1] += m.sm_utilization * d
+        a[2] += m.sm_occupancy * d
+        a[3] += m.warp_utilization * d
+        a[4] += m.bw_utilization * d
+        a[5] += m.arithmetic_intensity * d
+
+    rows = []
+    for name, a in acc.items():
+        d = a[0]
+        rows.append(
+            KernelMetrics(
+                name=name,
+                duration_s=d / per_cycle_of,
+                sm_utilization=a[1] / d,
+                sm_occupancy=a[2] / d,
+                warp_utilization=a[3] / d,
+                bw_utilization=a[4] / d,
+                arithmetic_intensity=a[5] / d,
+            )
+        )
+    rows.sort(key=lambda m: m.duration_s, reverse=True)
+    rows = rows[:top_n]
+
+    total_d = sum(m.duration_s for m in rows)
+    if total_d <= 0:
+        raise ValueError("no kernel time recorded")
+    total = KernelMetrics(
+        name="Total",
+        duration_s=total_d,
+        sm_utilization=sum(m.sm_utilization * m.duration_s for m in rows) / total_d,
+        sm_occupancy=sum(m.sm_occupancy * m.duration_s for m in rows) / total_d,
+        warp_utilization=sum(m.warp_utilization * m.duration_s for m in rows)
+        / total_d,
+        bw_utilization=sum(m.bw_utilization * m.duration_s for m in rows)
+        / total_d,
+        arithmetic_intensity=sum(
+            m.arithmetic_intensity * m.duration_s for m in rows
+        )
+        / total_d,
+    )
+    return MicroarchTable(rows=rows, total=total)

@@ -1,0 +1,116 @@
+"""Automatic bottleneck analysis and optimization advice (Section VIII).
+
+Given a :class:`RunResult`, computes where the time went, the Amdahl
+ceiling of fixing each serial component, and which of the paper's
+recommendations apply — turning the characterization into the actionable
+advice the paper's Section VIII gives by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.report import render_table
+from repro.driver.driver import RunResult
+
+#: Functions whose serial time each recommendation primarily attacks.
+RECOMMENDATION_TARGETS = {
+    "pooled block allocation (§VIII-A)": ["RedistributeAndRefineMeshBlocks"],
+    "parallel buffer-cache init (§VIII-A)": [
+        "SendBoundBufs",
+        "RedistributeAndRefineMeshBlocks",
+    ],
+    "integer variable indexing (§VIII-A)": [
+        "CalculateFluxes",
+        "FluxDivergence",
+        "SendBoundBufs",
+        "FillDerived",
+    ],
+    "more ranks per GPU (§IV-E)": ["*divisible-serial*"],
+    "restructured 2D/3D kernels (§VIII-B)": ["*kernel-CalculateFluxes*"],
+}
+
+
+@dataclass
+class Finding:
+    """One bottleneck observation with its Amdahl ceiling."""
+
+    component: str
+    seconds: float
+    share_of_total: float
+    amdahl_speedup_if_removed: float
+    advice: str
+
+
+def analyze(result: RunResult, top: int = 6) -> List[Finding]:
+    """Rank serial components by impact with the matching §VIII advice."""
+    total = result.wall_seconds
+    if total <= 0:
+        raise ValueError("result carries no time")
+    findings: List[Finding] = []
+    for name, (serial, _kernel) in result.function_breakdown.items():
+        if serial <= 0:
+            continue
+        advice = "increase rank concurrency (§IV-E)"
+        if name == "RedistributeAndRefineMeshBlocks":
+            advice = (
+                "pool block allocations; parallelize RebuildBufferCache "
+                "(§VIII-A)"
+            )
+        elif name == "SendBoundBufs":
+            advice = (
+                "drop/parallelize the buffer-key sort+shuffle; integer "
+                "variable indexing (§VIII-A)"
+            )
+        elif name == "UpdateMeshBlockTree":
+            advice = "undividable tree update: the Amdahl floor (§IV-D)"
+        elif name == "Refinement::Tag":
+            advice = "offload refinement tagging to the device (§VIII-A)"
+        elif name in ("ReceiveBoundBufs", "SetBounds", "StartRecvBoundBufs"):
+            advice = "overlap communication; raise ranks per GPU (§IV-E)"
+        findings.append(
+            Finding(
+                component=name,
+                seconds=serial,
+                share_of_total=serial / total,
+                amdahl_speedup_if_removed=total / max(total - serial, 1e-12),
+                advice=advice,
+            )
+        )
+    findings.sort(key=lambda f: f.seconds, reverse=True)
+    return findings[:top]
+
+
+def serial_fraction(result: RunResult) -> float:
+    return result.serial_seconds / max(result.wall_seconds, 1e-12)
+
+
+def max_rank_scaling_speedup(result: RunResult) -> float:
+    """Amdahl bound of scaling ranks with the kernel time held fixed."""
+    return result.wall_seconds / max(result.kernel_seconds, 1e-12)
+
+
+def render_recommendations(result: RunResult) -> str:
+    """Human-readable advisory report."""
+    findings = analyze(result)
+    rows = [
+        [
+            f.component,
+            f"{f.seconds:.3f}",
+            f"{f.share_of_total * 100:.1f}%",
+            f"{f.amdahl_speedup_if_removed:.2f}x",
+            f.advice,
+        ]
+        for f in findings
+    ]
+    header = (
+        f"Bottleneck analysis for {result.config.describe()} — serial "
+        f"fraction {serial_fraction(result) * 100:.1f}%, rank-scaling "
+        f"Amdahl bound {max_rank_scaling_speedup(result):.1f}x"
+    )
+    return render_table(
+        ["serial component", "seconds", "of total", "if removed", "recommendation"],
+        rows,
+        title=header,
+    )

@@ -1,0 +1,112 @@
+"""Plain-text rendering of the paper's figures and tables.
+
+The benchmark harness prints these so ``pytest benchmarks/ --benchmark-only``
+regenerates every figure/table as readable rows, mirroring what the paper
+plots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.core.microarch import MicroarchTable
+from repro.core.sweeps import SweepPoint
+from repro.driver.driver import RunResult
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Fixed-width ASCII table."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def fmt_fom(fom: float) -> str:
+    return f"{fom:.3e}"
+
+
+def render_sweep(
+    series: Dict[str, List[SweepPoint]], x_name: str, title: str
+) -> str:
+    """A figure with several FOM-vs-x series (Figs. 4, 5, 6)."""
+    xs = sorted({p.x for pts in series.values() for p in pts})
+    headers = [x_name] + list(series)
+    rows = []
+    for x in xs:
+        row: List[object] = [int(x) if float(x).is_integer() else x]
+        for name in series:
+            pt = next((p for p in series[name] if p.x == x), None)
+            if pt is None:
+                row.append("-")
+            elif pt.oom:
+                row.append("OOM")
+            else:
+                row.append(fmt_fom(pt.fom))
+        rows.append(row)
+    return render_table(headers, rows, title=title)
+
+
+def render_breakdown(result: RunResult, title: str, top: int = 12) -> str:
+    """Per-function serial/kernel seconds (Figs. 11/12 style)."""
+    headers = ["function", "serial_s", "kernel_s", "share_%"]
+    total = result.wall_seconds
+    rows = []
+    for name, (serial, kernel) in list(result.function_breakdown.items())[:top]:
+        share = 100.0 * (serial + kernel) / total if total else 0.0
+        rows.append([name, f"{serial:.3f}", f"{kernel:.3f}", f"{share:.1f}"])
+    return render_table(headers, rows, title=title)
+
+
+def render_microarch(table: MicroarchTable, title: str) -> str:
+    """Table III layout."""
+    headers = [
+        "Kernel",
+        "Dur.(ms)",
+        "SM Util.(%)",
+        "SM Occ.(%)",
+        "Warp Util.(%)",
+        "BW Util.(%)",
+        "Arith.Int.",
+    ]
+    rows = []
+    for m in list(table.rows) + [table.total]:
+        rows.append(
+            [
+                m.name,
+                f"{m.duration_s * 1e3:.1f}",
+                f"{m.sm_utilization * 100:.1f}",
+                f"{m.sm_occupancy * 100:.1f}",
+                f"{m.warp_utilization * 100:.1f}",
+                f"{m.bw_utilization * 100:.1f}",
+                f"{m.arithmetic_intensity:.1f}",
+            ]
+        )
+    return render_table(headers, rows, title=title)
+
+
+def render_memory(result: RunResult, title: str) -> str:
+    """Fig. 10 style: labeled GiB on the most-loaded device."""
+    headers = ["component", "GiB"]
+    rows = [
+        [label, f"{nbytes / 2**30:.2f}"]
+        for label, nbytes in result.memory_breakdown.items()
+    ]
+    rows.append(["total", f"{result.device_memory_peak / 2**30:.2f}"])
+    return render_table(headers, rows, title=title)

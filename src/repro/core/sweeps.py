@@ -1,0 +1,165 @@
+"""Parameter sweeps matching the paper's experiments.
+
+Each sweep returns ``SweepPoint`` rows — one per configuration — carrying
+the full :class:`RunResult`, ready for the benchmark harness to print as the
+corresponding figure's series.  Cycle counts are small (the FOM is a steady
+per-cycle rate) and configurable for quick runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.characterize import characterize
+from repro.driver.driver import RunResult
+from repro.driver.execution import ExecutionConfig
+from repro.driver.params import SimulationParams
+
+
+@dataclass
+class SweepPoint:
+    """One configuration's outcome within a sweep."""
+
+    label: str
+    x: float
+    result: Optional[RunResult]  # None when the configuration went OOM
+    oom: bool = False
+
+    @property
+    def fom(self) -> float:
+        if self.result is None:
+            return 0.0
+        return self.result.fom
+
+
+def _run(params: SimulationParams, config: ExecutionConfig, ncycles: int):
+    result = characterize(params, config, ncycles)
+    return result, result.oom
+
+
+GPU_1R = ExecutionConfig(backend="gpu", num_gpus=1, ranks_per_gpu=1)
+CPU_96R = ExecutionConfig(backend="cpu", cpu_ranks=96)
+
+
+def mesh_size_sweep(
+    base: SimulationParams,
+    configs: Dict[str, ExecutionConfig],
+    mesh_sizes: Sequence[int] = (64, 96, 128, 160, 192, 256),
+    ncycles: int = 3,
+) -> Dict[str, List[SweepPoint]]:
+    """Fig. 4: static scaling over mesh size (block 16, 3 levels)."""
+    out: Dict[str, List[SweepPoint]] = {name: [] for name in configs}
+    for mesh in mesh_sizes:
+        params = replace(base, mesh_size=mesh)
+        for name, config in configs.items():
+            result, oom = _run(params, config, ncycles)
+            out[name].append(
+                SweepPoint(label=name, x=mesh, result=result, oom=oom)
+            )
+    return out
+
+
+def block_size_sweep(
+    base: SimulationParams,
+    configs: Dict[str, ExecutionConfig],
+    block_sizes: Sequence[int] = (8, 16, 32),
+    ncycles: int = 3,
+) -> Dict[str, List[SweepPoint]]:
+    """Fig. 5 (and Fig. 1b/1c): performance vs MeshBlockSize."""
+    out: Dict[str, List[SweepPoint]] = {name: [] for name in configs}
+    for block in block_sizes:
+        params = replace(base, block_size=block)
+        for name, config in configs.items():
+            result, oom = _run(params, config, ncycles)
+            out[name].append(
+                SweepPoint(label=name, x=block, result=result, oom=oom)
+            )
+    return out
+
+
+def amr_level_sweep(
+    base: SimulationParams,
+    configs: Dict[str, ExecutionConfig],
+    levels: Sequence[int] = (1, 2, 3),
+    ncycles: int = 3,
+) -> Dict[str, List[SweepPoint]]:
+    """Fig. 6: performance vs #AMR Levels (mesh 128, block 16)."""
+    out: Dict[str, List[SweepPoint]] = {name: [] for name in configs}
+    for lvl in levels:
+        params = replace(base, num_levels=lvl)
+        for name, config in configs.items():
+            result, oom = _run(params, config, ncycles)
+            out[name].append(
+                SweepPoint(label=name, x=lvl, result=result, oom=oom)
+            )
+    return out
+
+
+def cpu_rank_sweep(
+    base: SimulationParams,
+    ranks: Sequence[int] = (4, 8, 16, 24, 32, 48, 64, 72, 96),
+    ncycles: int = 3,
+) -> List[SweepPoint]:
+    """Fig. 7: CPU strong scaling (total/kernel/serial in each result)."""
+    out: List[SweepPoint] = []
+    for r in ranks:
+        config = ExecutionConfig(backend="cpu", cpu_ranks=r)
+        result, oom = _run(base, config, ncycles)
+        out.append(SweepPoint(label=f"CPU-{r}R", x=r, result=result, oom=oom))
+    return out
+
+
+def gpu_rank_sweep(
+    base: SimulationParams,
+    ranks_per_gpu: Sequence[int] = (1, 2, 4, 6, 8, 12, 16, 24, 32),
+    num_gpus: int = 1,
+    ncycles: int = 3,
+) -> List[SweepPoint]:
+    """Fig. 8: FOM vs MPI ranks per GPU — OOM marks the memory wall."""
+    out: List[SweepPoint] = []
+    for r in ranks_per_gpu:
+        config = ExecutionConfig(
+            backend="gpu", num_gpus=num_gpus, ranks_per_gpu=r
+        )
+        result, oom = _run(base, config, ncycles)
+        out.append(
+            SweepPoint(label=f"{num_gpus}GPU-{r}R", x=r, result=result, oom=oom)
+        )
+    return out
+
+
+def best_rank_gpu(
+    base: SimulationParams,
+    num_gpus: int = 1,
+    candidates: Sequence[int] = (1, 2, 4, 6, 8, 12, 16),
+    ncycles: int = 2,
+) -> SweepPoint:
+    """The paper's BestR configuration: the rank count maximizing FOM."""
+    points = gpu_rank_sweep(
+        base, ranks_per_gpu=candidates, num_gpus=num_gpus, ncycles=ncycles
+    )
+    viable = [p for p in points if not p.oom and p.result is not None]
+    if not viable:
+        return points[0]
+    return max(viable, key=lambda p: p.fom)
+
+
+def multinode_comparison(
+    base: SimulationParams,
+    nodes: Sequence[int] = (1, 2),
+    ncycles: int = 2,
+) -> Dict[str, List[SweepPoint]]:
+    """Section V: two-node scaling, 1 rank/GPU and 1 rank/core."""
+    out: Dict[str, List[SweepPoint]] = {"GPU": [], "CPU": []}
+    for n in nodes:
+        gpu = ExecutionConfig(
+            backend="gpu", num_gpus=8, ranks_per_gpu=1, num_nodes=n
+        )
+        cpu = ExecutionConfig(backend="cpu", cpu_ranks=96, num_nodes=n)
+        for name, config in (("GPU", gpu), ("CPU", cpu)):
+            result, oom = _run(base, config, ncycles)
+            out[name].append(
+                SweepPoint(label=f"{name}-{n}node", x=n, result=result, oom=oom)
+            )
+    return out

@@ -1,0 +1,19 @@
+"""The Parthenon-style evolution driver.
+
+Runs the timestep loop of Fig. 3 — ``Step``, ``LoadBalancingAndAMR``,
+``EstimateTimeStep`` — with Kokkos-style instrumentation around every
+sub-function the paper profiles, on either the numeric workload (real PDE
+data) or the modeled workload (synthetic wavefront refinement, cost-only
+kernels).
+"""
+
+from repro.driver.params import SimulationParams
+from repro.driver.execution import ExecutionConfig
+from repro.driver.driver import ParthenonDriver, RunResult
+
+__all__ = [
+    "SimulationParams",
+    "ExecutionConfig",
+    "ParthenonDriver",
+    "RunResult",
+]

@@ -1,0 +1,160 @@
+"""Output writers: history files, mesh structure dumps, and restarts.
+
+* :func:`write_history` emits an Athena/Parthenon-style ``.hst`` table of
+  the MassHistory reductions.
+* :func:`write_mesh_structure` dumps the block layout (location, level,
+  rank, bounds) for inspection or plotting.
+* :func:`save_restart` / :func:`load_restart` round-trip the full numeric
+  state (tree + every block's fields) through an ``.npz`` archive, so long
+  runs can resume — the role of Parthenon's ``REQUIRES_RESTART`` metadata.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.mesh.block import FieldSpec
+from repro.mesh.logical_location import LogicalLocation
+from repro.mesh.mesh import Mesh, MeshGeometry
+from repro.solver.history import HistoryRow
+
+PathLike = Union[str, Path]
+
+
+def write_history(path: PathLike, rows: Sequence[HistoryRow]) -> None:
+    """Write MassHistory rows as a .hst-style whitespace table."""
+    if not rows:
+        raise ValueError("no history rows to write")
+    nscalars = len(rows[0].scalar_totals)
+    nvel = len(rows[0].momentum_totals)
+    headers = (
+        ["cycle", "time"]
+        + [f"total_q{j}" for j in range(nscalars)]
+        + [f"total_mom{i}" for i in range(nvel)]
+        + ["total_d", "max_speed"]
+    )
+    lines = ["# " + "  ".join(headers)]
+    for r in rows:
+        cells = (
+            [str(r.cycle), f"{r.time:.10e}"]
+            + [f"{q:.10e}" for q in r.scalar_totals]
+            + [f"{m:.10e}" for m in r.momentum_totals]
+            + [f"{r.total_d:.10e}", f"{r.max_speed:.10e}"]
+        )
+        lines.append("  ".join(cells))
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def read_history(path: PathLike) -> List[List[float]]:
+    """Read back a .hst table as rows of floats (cycle included)."""
+    rows = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        rows.append([float(tok) for tok in line.split()])
+    return rows
+
+
+def write_mesh_structure(path: PathLike, mesh: Mesh) -> None:
+    """Dump block layout: gid, level, logical coords, rank, bounds."""
+    lines = ["# gid level lx1 lx2 lx3 rank x1min x1max x2min x2max x3min x3max"]
+    for blk in mesh.block_list:
+        l = blk.lloc
+        bounds = " ".join(
+            f"{lo:.8f} {hi:.8f}" for lo, hi in blk.bounds
+        )
+        lines.append(
+            f"{blk.gid} {l.level} {l.lx1} {l.lx2} {l.lx3} {blk.rank} {bounds}"
+        )
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def save_restart(
+    path: PathLike, mesh: Mesh, cycle: int = 0, time: float = 0.0
+) -> None:
+    """Serialize the numeric mesh state into an .npz archive."""
+    if not mesh.allocate:
+        raise ValueError("restart dumps require a numeric-mode mesh")
+    geo = mesh.geometry
+    payload = {
+        "meta": np.array(
+            [
+                geo.ndim,
+                geo.mesh_size[0],
+                geo.block_size[0],
+                geo.ng,
+                geo.num_levels,
+                cycle,
+            ],
+            dtype=np.int64,
+        ),
+        "time": np.array([time]),
+        "field_names": np.array([s.name for s in mesh.field_specs]),
+        "field_ncomp": np.array([s.ncomp for s in mesh.field_specs]),
+        "locations": np.array(
+            [
+                (b.lloc.level, b.lloc.lx1, b.lloc.lx2, b.lloc.lx3, b.rank)
+                for b in mesh.block_list
+            ],
+            dtype=np.int64,
+        ),
+    }
+    for blk in mesh.block_list:
+        for name, arr in blk.fields.items():
+            payload[f"blk{blk.gid}/{name}"] = arr
+    np.savez_compressed(Path(path), **payload)
+
+
+def load_restart(path: PathLike) -> Tuple[Mesh, int, float]:
+    """Rebuild a numeric mesh from a restart archive.
+
+    Returns ``(mesh, cycle, time)``.  The tree is reconstructed by refining
+    down to each stored leaf, then data is copied in verbatim.
+    """
+    with np.load(Path(path), allow_pickle=False) as data:
+        ndim, mesh_size, block_size, ng, num_levels, cycle = (
+            int(v) for v in data["meta"]
+        )
+        time = float(data["time"][0])
+        specs = [
+            FieldSpec(str(name), int(nc))
+            for name, nc in zip(data["field_names"], data["field_ncomp"])
+        ]
+        geo = MeshGeometry(
+            ndim=ndim,
+            mesh_size=tuple(mesh_size if a < ndim else 1 for a in range(3)),
+            block_size=tuple(block_size if a < ndim else 1 for a in range(3)),
+            ng=ng,
+            num_levels=num_levels,
+        )
+        mesh = Mesh(geo, field_specs=specs, allocate=True)
+        # Stored in gid (Morton) order; keep that order for data mapping.
+        stored = [
+            (LogicalLocation(int(l), int(i), int(j), int(k)), int(rank))
+            for l, i, j, k, rank in data["locations"]
+        ]
+        # Reconstruct the tree: refine ancestors until every stored leaf
+        # exists, shallow leaves first so parents exist before children.
+        for lloc, _ in sorted(stored, key=lambda t: t[0].level):
+            while lloc not in mesh.tree.leaves:
+                probe = lloc
+                while probe.level > 0 and probe.parent() not in mesh.tree.leaves:
+                    probe = probe.parent()
+                if probe.level == 0:
+                    raise ValueError(f"stored leaf {lloc} outside the tree")
+                mesh.remesh(refine=[probe.parent()], derefine=[])
+        if len(mesh.block_list) != len(stored):
+            raise ValueError(
+                f"restart mismatch: rebuilt {len(mesh.block_list)} blocks, "
+                f"archive has {len(stored)}"
+            )
+        for gid, (lloc, rank) in enumerate(stored):
+            blk = mesh.block_at(lloc)
+            blk.rank = rank
+            for spec in specs:
+                blk.fields[spec.name][...] = data[f"blk{gid}/{spec.name}"]
+    return mesh, cycle, time

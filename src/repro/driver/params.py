@@ -1,0 +1,68 @@
+"""Simulation parameters — the knobs the paper sweeps.
+
+``mesh_size``, ``block_size`` and ``num_levels`` are exactly the paper's
+Mesh size / MeshBlockSize / #AMR Levels axes (Sections IV-A..IV-C);
+refinement cadence and the derefinement gap follow Section II-G ("refinement
+every cycle, derefinement constrained by a minimum gap of 10 cycles, load
+balancing every cycle").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.mesh.mesh import MeshGeometry
+from repro.solver.burgers import BurgersConfig
+
+
+@dataclass(frozen=True)
+class SimulationParams:
+    """One Parthenon-VIBE run configuration."""
+
+    ndim: int = 3
+    mesh_size: int = 128
+    block_size: int = 16
+    num_levels: int = 3
+    num_scalars: int = 8
+    reconstruction: str = "weno5"
+    riemann: str = "hll"
+    cfl: float = 0.4
+    refine_every: int = 1
+    derefine_gap: int = 10
+    load_balance_every: int = 1
+    refine_tol: float = 0.15
+    derefine_tol: float = 0.03
+    #: Synthetic wavefront parameters (modeled-mode workload generator).
+    wavefront_speed: float = 0.010
+    wavefront_width: float = 0.014
+    wavefront_r0: float = 0.11
+
+    def burgers_config(self) -> BurgersConfig:
+        return BurgersConfig(
+            num_scalars=self.num_scalars,
+            reconstruction=self.reconstruction,
+            riemann=self.riemann,
+            cfl=self.cfl,
+            refine_tol=self.refine_tol,
+            derefine_tol=self.derefine_tol,
+        )
+
+    def geometry(self) -> MeshGeometry:
+        cfg = self.burgers_config()
+        return MeshGeometry(
+            ndim=self.ndim,
+            mesh_size=tuple(
+                self.mesh_size if a < self.ndim else 1 for a in range(3)
+            ),
+            block_size=tuple(
+                self.block_size if a < self.ndim else 1 for a in range(3)
+            ),
+            ng=cfg.required_ghosts(),
+            num_levels=self.num_levels,
+            periodic=(True, True, True),
+        )
+
+    @property
+    def ncomp(self) -> int:
+        return self.ndim + self.num_scalars

@@ -1,0 +1,32 @@
+"""Simulated heterogeneous platform: H100 GPU, Sapphire Rapids CPU, Open MPI.
+
+The paper's testbed (Tables I and II) is modeled analytically: an occupancy
+calculator and roofline-style kernel duration model for the GPU, a
+strong-scaling throughput model for the CPU, per-operation serial cost models
+for the host code paths Section VIII-A profiles, collective communication
+models, an Open-MPI driver memory model (including the IPC leak the paper
+footnotes), and a MICA-style instruction-mix model for Fig. 13.
+
+All tunable constants live in :mod:`repro.hardware.calibration` with their
+derivations from the paper's anchor measurements.
+"""
+
+from repro.hardware.specs import CPUSpec, GPUSpec, H100_SXM, SAPPHIRE_RAPIDS_8468
+from repro.hardware.occupancy import occupancy
+from repro.hardware.gpu import GPUModel, KernelMetrics
+from repro.hardware.cpu import CPUModel
+from repro.hardware.serial import SerialCostModel
+from repro.hardware.opcode import OpcodeModel
+
+__all__ = [
+    "CPUSpec",
+    "GPUSpec",
+    "H100_SXM",
+    "SAPPHIRE_RAPIDS_8468",
+    "occupancy",
+    "GPUModel",
+    "KernelMetrics",
+    "CPUModel",
+    "SerialCostModel",
+    "OpcodeModel",
+]

@@ -1,0 +1,76 @@
+"""Sapphire Rapids performance model: data-parallel kernel durations.
+
+CPU kernels are the same named launches as on the GPU, executed by OpenMP
+across the MPI ranks' cores.  The model is roofline-style: attainable FP64
+throughput scales with cores and the SIMD efficiency of the loop (which
+degrades at small mesh-block sizes — Fig. 13's vector-share drop from 63% to
+52% between B32 and B16), bounded by memory bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.calibration import DEFAULT_CALIBRATION, Calibration
+from repro.hardware.specs import CPUSpec, SAPPHIRE_RAPIDS_8468
+from repro.kokkos.kernel import KernelLaunch
+
+
+def simd_efficiency(block_nx: int, simd_width: int = 8) -> float:
+    """Fraction of inner-loop work executed in full SIMD lanes.
+
+    An x1-line of ``block_nx`` cells fills ``block_nx // simd_width`` full
+    vectors; the remainder runs scalar.  Short lines also pay relatively more
+    loop/setup scalar work, folded in as a fixed per-line overhead of about
+    half a vector.
+    """
+    if block_nx < 1:
+        raise ValueError(f"block_nx must be >= 1, got {block_nx}")
+    full = (block_nx // simd_width) * simd_width
+    overhead = 0.5 * simd_width
+    return full / (block_nx + overhead)
+
+
+class CPUModel:
+    """Kernel-duration model for data-parallel execution on CPU cores."""
+
+    def __init__(
+        self,
+        spec: CPUSpec = SAPPHIRE_RAPIDS_8468,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+    ) -> None:
+        self.spec = spec
+        self.cal = calibration.cpu
+
+    def attainable_gflops(self, ncores: int, block_nx: int) -> float:
+        """FP64 GFLOP/s of ``ncores`` cores on ``block_nx``-sized loops."""
+        if ncores < 1 or ncores > self.spec.cores:
+            raise ValueError(
+                f"ncores must be in [1, {self.spec.cores}], got {ncores}"
+            )
+        ve = simd_efficiency(block_nx, self.spec.simd_doubles)
+        per_lane = self.cal.flop_efficiency
+        # Vectorized share at vector throughput, remainder at scalar rate.
+        eff = ve * per_lane + (1.0 - ve) * self.cal.scalar_penalty
+        return ncores * self.spec.peak_fp64_gflops_per_core * eff
+
+    def kernel_duration(
+        self, launch: KernelLaunch, ncores: int, total_ranks: int = 0
+    ) -> float:
+        """Wall seconds for one data-parallel launch on ``ncores`` cores.
+
+        ``total_ranks`` is how many ranks run concurrently on the node and
+        therefore share the socket bandwidth; each rank's slice is capped at
+        what ~4 cores can draw (a single core cannot saturate the memory
+        controllers) and floored by an equal share when the node is full.
+        """
+        if total_ranks < ncores:
+            total_ranks = ncores
+        gflops = self.attainable_gflops(ncores, launch.block_nx)
+        t_compute = launch.flops / (gflops * 1e9)
+        bw_total = self.spec.memory_bw_gbs * 1e9 * self.cal.mem_efficiency
+        share = min(4.0 * ncores / self.spec.cores, ncores / total_ranks)
+        # Per-core L2/L3 residency absorbs most of the worst-case traffic.
+        dram_bytes = launch.bytes * self.cal.cache_traffic_factor
+        t_memory = dram_bytes / (bw_total * share)
+        return self.cal.dispatch_overhead_s + max(t_compute, t_memory)

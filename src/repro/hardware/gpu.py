@@ -1,0 +1,212 @@
+"""H100 performance model: kernel durations and Table III metrics.
+
+The duration model is roofline-with-parallelism: a kernel's work time is the
+larger of its compute time (FLOPs over attainable FP64 throughput) and its
+memory time (bytes over attainable bandwidth), divided by a parallelism
+efficiency that collapses when a launch exposes too few useful threads to
+fill the machine — exactly the paper's "small mesh blocks are processed with
+low SM utilization" mechanism.  Attainable rates are discounted by the
+kernel's access-pattern efficiency (sparse mesh-block layouts reach only a
+fraction of HBM peak) and the wasted-warp issue penalty found by PTX
+inspection.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from repro.hardware.calibration import DEFAULT_CALIBRATION, Calibration
+from repro.hardware.occupancy import OccupancyResult, occupancy
+from repro.hardware.specs import GPUSpec, H100_SXM
+from repro.kokkos.kernel import KernelLaunch, KernelProfile
+
+
+@dataclass
+class KernelMetrics:
+    """One row of Table III."""
+
+    name: str
+    duration_s: float
+    sm_utilization: float
+    sm_occupancy: float
+    warp_utilization: float
+    bw_utilization: float
+    arithmetic_intensity: float
+
+
+def warp_utilization(profile: KernelProfile, block_nx: int, warp_size: int) -> float:
+    """Active threads per warp instruction.
+
+    Line kernels compute along one mesh-block x1-line per warp: lanes beyond
+    the block size are masked off, so utilization degrades once the block
+    size drops below the warp width (the paper's 94% → 68% shift from B32 to
+    B16 in CalculateFluxes).  The uniform (non-divergent) instruction
+    fraction blends the penalty.
+    """
+    base = 0.95
+    if not profile.line_kernel:
+        return base
+    line = min(block_nx / warp_size, 1.0)
+    f = profile.uniform_fraction
+    return base * (f + (1.0 - f) * line)
+
+
+class GPUModel:
+    """Kernel-duration and microarchitecture model for one GPU."""
+
+    def __init__(
+        self,
+        spec: GPUSpec = H100_SXM,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+    ) -> None:
+        self.spec = spec
+        self.cal = calibration.gpu
+
+    # ------------------------------------------------------------ pieces
+
+    def occupancy_of(self, profile: KernelProfile) -> OccupancyResult:
+        return occupancy(
+            self.spec, profile.registers_per_thread, profile.threads_per_block
+        )
+
+    def parallelism_efficiency(self, launch: KernelLaunch) -> float:
+        """Fraction of the machine's latency-hiding capacity a launch fills.
+
+        Useful concurrent threads = min(threads the launch exposes, threads
+        occupancy allows in flight); the machine saturates at
+        ``saturation_warps_per_sm`` warps per SM.
+        """
+        profile = launch.profile
+        occ = self.occupancy_of(profile)
+        warp_util = warp_utilization(
+            profile, launch.block_nx, self.spec.warp_size
+        )
+        if profile.line_kernel:
+            # One warp of useful work per line; block over-provisioning
+            # wastes the rest (counted via the issue penalty, not here).
+            useful_threads = launch.lines * min(
+                launch.block_nx, self.spec.warp_size
+            )
+        else:
+            useful_threads = launch.cells
+        in_flight = min(
+            useful_threads,
+            self.spec.sms * occ.active_warps_per_sm * self.spec.warp_size
+            * warp_util,
+        )
+        saturation = (
+            self.spec.sms * self.cal.saturation_warps_per_sm * self.spec.warp_size
+        )
+        return max(min(in_flight / saturation, 1.0), 1e-6)
+
+    def issue_efficiency(self, profile: KernelProfile) -> float:
+        """Useful-instruction issue fraction (wasted warps + divergence)."""
+        eff_warps = profile.effective_warps_per_block
+        warps_per_block = math.ceil(
+            profile.threads_per_block / self.spec.warp_size
+        )
+        if eff_warps >= warps_per_block:
+            return 1.0
+        waste = 1.0 - eff_warps / warps_per_block
+        return 1.0 - waste * self.cal.wasted_warp_issue_penalty
+
+    # ---------------------------------------------------------- duration
+
+    def kernel_duration(self, launch: KernelLaunch) -> float:
+        """Wall seconds for one launch on this GPU.
+
+        Warp divergence enters the work time directly: lanes masked off in
+        line kernels (block size below the warp width) still occupy issue
+        slots and memory transactions, so both attainable FLOPs and
+        attainable bandwidth shrink with warp utilization — the per-cell
+        slowdown behind Fig. 1(c).
+        """
+        profile = launch.profile
+        issue = self.issue_efficiency(profile)
+        wu = warp_utilization(profile, launch.block_nx, self.spec.warp_size)
+        divergence = wu / 0.95  # strip the non-divergence base factor
+        t_compute = launch.flops / (
+            self.spec.peak_fp64_flops * issue * divergence
+        )
+        t_memory = launch.bytes / (
+            self.spec.memory_bw_bytes_per_s
+            * profile.mem_efficiency
+            * divergence
+        )
+        work = max(t_compute, t_memory)
+        eff = self.parallelism_efficiency(launch)
+        return self.cal.launch_overhead_s + work / eff
+
+    # ------------------------------------------------------- Table III
+
+    def kernel_metrics(self, launch: KernelLaunch) -> KernelMetrics:
+        """The Nsight-Compute-style row for one launch."""
+        profile = launch.profile
+        occ = self.occupancy_of(profile)
+        duration = self.kernel_duration(launch)
+        active = duration - self.cal.launch_overhead_s
+        wu = warp_utilization(profile, launch.block_nx, self.spec.warp_size)
+        bw_util = launch.bytes / (
+            max(active, 1e-12) * self.spec.memory_bw_bytes_per_s
+        )
+        # SM utilization: issued-instruction pressure during active time.
+        # Wasted warps (over-provisioned CUDA blocks) and divergence-masked
+        # lanes still occupy issue slots, so the instruction load exceeds
+        # the useful FLOP rate by the block's warp ratio and 1/divergence —
+        # how CalculateFluxes shows ~28% SM utilization at 24% occupancy.
+        t_compute = launch.flops / self.spec.peak_fp64_flops
+        warps_per_block = math.ceil(
+            profile.threads_per_block / self.spec.warp_size
+        )
+        divergence = max(wu / 0.95, 1e-3)
+        compute_pressure = (
+            t_compute
+            / max(active, 1e-12)
+            * (warps_per_block / profile.effective_warps_per_block)
+            / divergence
+        )
+        # Streaming/copy kernels keep SMs busy with load/store issue even
+        # with no FLOPs: LSU activity tracks achieved bandwidth.
+        sm_util = max(compute_pressure, 1.1 * bw_util)
+        ai = launch.flops / launch.bytes if launch.bytes else 0.0
+        return KernelMetrics(
+            name=launch.name,
+            duration_s=duration,
+            sm_utilization=min(sm_util, 1.0),
+            sm_occupancy=occ.occupancy,
+            warp_utilization=wu,
+            bw_utilization=min(bw_util, 1.0),
+            arithmetic_intensity=ai,
+        )
+
+    def aggregate_metrics(
+        self, launches: Iterable[KernelLaunch]
+    ) -> Dict[str, KernelMetrics]:
+        """Duration-weighted per-kernel metrics over many launches."""
+        sums: Dict[str, List] = {}
+        for launch in launches:
+            m = self.kernel_metrics(launch)
+            if m.name not in sums:
+                sums[m.name] = [0.0] * 6
+            acc = sums[m.name]
+            acc[0] += m.duration_s
+            acc[1] += m.sm_utilization * m.duration_s
+            acc[2] += m.sm_occupancy * m.duration_s
+            acc[3] += m.warp_utilization * m.duration_s
+            acc[4] += m.bw_utilization * m.duration_s
+            acc[5] += m.arithmetic_intensity * m.duration_s
+        out: Dict[str, KernelMetrics] = {}
+        for name, acc in sums.items():
+            d = acc[0]
+            out[name] = KernelMetrics(
+                name=name,
+                duration_s=d,
+                sm_utilization=acc[1] / d,
+                sm_occupancy=acc[2] / d,
+                warp_utilization=acc[3] / d,
+                bw_utilization=acc[4] / d,
+                arithmetic_intensity=acc[5] / d,
+            )
+        return out

@@ -1,0 +1,69 @@
+"""CUDA occupancy calculation — the "SM Occ." column of Table III.
+
+Occupancy is the ratio of active warps to the maximum warps an SM supports.
+The paper finds register pressure to be the binding constraint in Parthenon's
+kernels: CalculateFluxes at >100 registers/thread fits only four 128-thread
+blocks per SM (16 of 64 warps ≈ 24%).  This module reproduces the standard
+occupancy arithmetic (register, warp-slot and block-slot limits).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.hardware.specs import GPUSpec
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Outcome of the occupancy calculation for one kernel configuration."""
+
+    blocks_per_sm: int
+    active_warps_per_sm: int
+    occupancy: float
+    limiter: str  # "registers" | "warps" | "blocks"
+
+
+def occupancy(
+    gpu: GPUSpec, registers_per_thread: int, threads_per_block: int
+) -> OccupancyResult:
+    """Active-warp occupancy for a kernel configuration on ``gpu``."""
+    if threads_per_block < 1 or threads_per_block > gpu.max_threads_per_block:
+        raise ValueError(
+            f"threads_per_block must be in [1, {gpu.max_threads_per_block}], "
+            f"got {threads_per_block}"
+        )
+    if registers_per_thread < 1:
+        raise ValueError(f"registers_per_thread must be >= 1")
+    warps_per_block = math.ceil(threads_per_block / gpu.warp_size)
+
+    # Registers are allocated per warp in fixed-size chunks.
+    regs_per_warp = registers_per_thread * gpu.warp_size
+    unit = gpu.register_allocation_unit
+    regs_per_warp = math.ceil(regs_per_warp / unit) * unit
+    regs_per_block = regs_per_warp * warps_per_block
+
+    by_registers = gpu.registers_per_sm // regs_per_block
+    by_warps = gpu.max_warps_per_sm // warps_per_block
+    by_blocks = gpu.max_blocks_per_sm
+
+    blocks = min(by_registers, by_warps, by_blocks)
+    if blocks == by_registers and by_registers <= min(by_warps, by_blocks):
+        limiter = "registers"
+    elif blocks == by_warps and by_warps <= by_blocks:
+        limiter = "warps"
+    else:
+        limiter = "blocks"
+    if blocks == 0:
+        raise ValueError(
+            f"kernel with {registers_per_thread} regs x {threads_per_block} "
+            "threads does not fit on one SM"
+        )
+    active_warps = blocks * warps_per_block
+    return OccupancyResult(
+        blocks_per_sm=blocks,
+        active_warps_per_sm=active_warps,
+        occupancy=active_warps / gpu.max_warps_per_sm,
+        limiter=limiter,
+    )

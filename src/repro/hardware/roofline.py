@@ -1,0 +1,38 @@
+"""Roofline utilities: operational intensity vs attainable throughput.
+
+Used by the microarchitecture analysis (Section VII-A) to classify kernels:
+the H100's machine balance is ~10.1 FLOPs/byte, while the VIBE kernels
+average 5.0-5.4, so every kernel is memory-bound — yet achieves low
+bandwidth utilization because of sparse access patterns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.specs import GPUSpec
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """A kernel's placement on the roofline."""
+
+    arithmetic_intensity: float
+    attainable_flops: float
+    memory_bound: bool
+
+    def attainable_fraction_of_peak(self, peak_flops: float) -> float:
+        return self.attainable_flops / peak_flops
+
+
+def roofline_point(gpu: GPUSpec, arithmetic_intensity: float) -> RooflinePoint:
+    """Attainable FP64 throughput at the given operational intensity."""
+    if arithmetic_intensity < 0:
+        raise ValueError("arithmetic intensity must be non-negative")
+    bw_bound = arithmetic_intensity * gpu.memory_bw_bytes_per_s
+    attainable = min(gpu.peak_fp64_flops, bw_bound)
+    return RooflinePoint(
+        arithmetic_intensity=arithmetic_intensity,
+        attainable_flops=attainable,
+        memory_bound=bw_bound < gpu.peak_fp64_flops,
+    )

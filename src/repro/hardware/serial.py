@@ -1,0 +1,179 @@
+"""Host serial-portion cost model (Section VIII-A's bottleneck inventory).
+
+Converts the work counters the framework records (buffers packed, keys
+sorted, blocks tagged, string hashes, messages posted, …) into simulated
+host seconds.  These costs are what make small mesh blocks and deep AMR
+expensive: the per-buffer and per-block terms scale with counts that explode
+as blocks shrink.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.comm.buffers import CacheStats
+from repro.comm.bvals import ExchangeStats, RebuildStats
+from repro.hardware.calibration import DEFAULT_CALIBRATION, Calibration
+from repro.mesh.mesh import RemeshStats
+from repro.solver.state import LookupCounters
+
+
+class SerialCostModel:
+    """Seconds of host work for each serial code path."""
+
+    def __init__(self, calibration: Calibration = DEFAULT_CALIBRATION) -> None:
+        self.cal = calibration.serial
+        self.coll = calibration.collective
+
+    # --------------------------------------------------- communication
+
+    def send_setup(self, stats: ExchangeStats) -> float:
+        """SendBoundBufs host work: per-buffer metadata + message posting."""
+        return (
+            stats.buffers_packed * self.cal.per_buffer_pack_setup_s
+            + stats.messages_remote * self.cal.per_remote_message_s
+        )
+
+    def buffer_cache_init(
+        self, nbuffers: int, include_shuffle: bool = True
+    ) -> float:
+        """InitializeBufferCache: sort + shuffle of boundary keys.
+
+        ``include_shuffle=False`` models Section VIII-A's suggestion of
+        dropping the randomization pass.
+        """
+        if nbuffers <= 0:
+            return 0.0
+        t = nbuffers * math.log2(max(nbuffers, 2)) * self.cal.per_key_sort_s
+        if include_shuffle:
+            t += nbuffers * self.cal.per_key_shuffle_s
+        return t
+
+    def receive_polling(self, iprobe_calls: int, test_calls: int) -> float:
+        """ReceiveBoundBufs: MPI progress polling."""
+        return (
+            iprobe_calls * self.cal.per_iprobe_s
+            + test_calls * self.cal.per_test_s
+        )
+
+    def set_bounds_setup(self, stats: ExchangeStats) -> float:
+        """SetBounds host work: buffer metadata updates + stale marking."""
+        return stats.buffers_packed * self.cal.per_buffer_unpack_setup_s
+
+    # ------------------------------------------------------ remeshing
+
+    def rebuild_buffer_cache(self, rebuild: RebuildStats) -> float:
+        """RebuildBufferCache: ViewsOfViews population + H2D copies."""
+        c = rebuild.cache
+        return c.views_rebuilt * self.cal.per_buffer_views_rebuild_s + (
+            c.h2d_copies * self.cal.per_buffer_h2d_s
+        )
+
+    def build_tag_map(self, rebuild: RebuildStats) -> float:
+        """BuildTagMapAndBoundaryBuffers + SetMeshBlockNeighbors."""
+        return rebuild.nbuffers * self.cal.per_neighbor_link_s
+
+    def remesh_allocation(
+        self,
+        stats: RemeshStats,
+        bytes_per_block: int,
+        alloc_scale: float = 1.0,
+    ) -> float:
+        """Block allocation/destruction + prolong/restrict data movement.
+
+        ``alloc_scale < 1`` models pooled allocation (Section VIII-A's
+        software memory pools batching the cudaMalloc traffic).
+        """
+        blocks_changed = stats.created + stats.destroyed
+        data_bytes = stats.created * bytes_per_block
+        return (
+            blocks_changed * self.cal.per_block_alloc_s * alloc_scale
+            + data_bytes / self.cal.redistribution_bw_bytes_s
+        )
+
+    def redistribution(self, moved_blocks: int, bytes_per_block: int) -> float:
+        """Load-balance block moves (metadata + data transfer)."""
+        return moved_blocks * self.cal.per_block_move_s + (
+            moved_blocks * bytes_per_block / self.cal.redistribution_bw_bytes_s
+        )
+
+    # -------------------------------------------- tagging / tree update
+
+    def refinement_tagging(self, blocks_checked: int) -> float:
+        """CheckAllRefinement scalar loop over local blocks."""
+        return blocks_checked * self.cal.per_block_tag_s
+
+    def tree_update(self, total_blocks: int, tree_changes: int) -> float:
+        """UpdateMeshBlockTree: flag processing over ALL blocks (every rank
+        holds the whole tree) plus tree surgery."""
+        return (
+            total_blocks * self.cal.per_block_tree_update_s
+            + tree_changes * self.cal.per_tree_change_s
+        )
+
+    # ------------------------------------------------- variable lookup
+
+    def variable_lookup(self, counters: LookupCounters) -> float:
+        """GetVariablesByFlag string hashing/comparison work."""
+        return (
+            counters.string_hashes * self.cal.per_string_hash_s
+            + counters.string_comparisons * self.cal.per_string_comparison_s
+        )
+
+    # ------------------------------------------------------- tasking
+
+    def task_overhead(self, ntasks: int) -> float:
+        """Task-list management for the hierarchical tasking model."""
+        return ntasks * self.cal.per_task_s
+
+    # ----------------------------------------------------- collectives
+
+    def collective(self, nranks: int, nbytes: int, internode: bool = False) -> float:
+        """One All-Gather/All-Reduce over ``nranks`` ranks."""
+        t = (
+            self.coll.latency_s
+            + self.coll.per_log2_rank_s * math.log2(max(nranks, 2))
+            + nbytes / self.coll.bandwidth_bytes_s
+        )
+        if internode:
+            t += self.coll.internode_latency_s + nbytes / (
+                self.coll.internode_bandwidth_bytes_s
+            )
+        return t
+
+    def gpu_rank_contention(self, total_blocks: int, ranks_per_gpu: int) -> float:
+        """Rank-linear GPU-sharing contention (collective progress, CUDA IPC,
+        driver serialization) — the term that turns Fig. 8 over past ~12
+        ranks per GPU."""
+        return (
+            total_blocks
+            * ranks_per_gpu
+            * self.coll.gpu_contention_per_block_rank_s
+        )
+
+    def cpu_rank_contention(self, total_blocks: int, nranks: int) -> float:
+        """The far milder CPU analog (Fig. 7's small uptick at 72-96)."""
+        return (
+            total_blocks * nranks * self.coll.cpu_contention_per_block_rank_s
+        )
+
+
+def mpi_driver_memory_bytes(
+    nranks_on_device: int,
+    npeers_per_rank: float,
+    cycles: int,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+) -> int:
+    """Open MPI driver memory on one device (Fig. 10's pink region, part 2).
+
+    Base CUDA context + runtime per rank, per-peer IPC/registration caches,
+    and the footnoted IPC leak growing with simulation cycles.
+    """
+    cal = calibration.mpi_memory
+    per_rank = (
+        cal.driver_base_bytes_per_rank
+        + int(npeers_per_rank * cal.per_peer_bytes)
+        + cycles * cal.ipc_leak_bytes_per_cycle_per_rank
+    )
+    return nranks_on_device * per_rank

@@ -1,0 +1,106 @@
+"""Hardware specifications — Tables I and II of the paper, as data.
+
+The two constants :data:`SAPPHIRE_RAPIDS_8468` and :data:`H100_SXM` carry the
+exact values the paper reports; derived quantities (peak FP64 throughput,
+operational intensity) follow the paper's own arithmetic (footnote 2:
+H100 operational intensity = 34 TFLOP/s ÷ 3.35 TB/s ≈ 10.1 FLOP/byte).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """Table I: Intel Xeon Platinum 8468 (Sapphire Rapids) node."""
+
+    name: str
+    cores: int
+    sockets: int
+    base_ghz: float
+    l1d_kb: int
+    l1i_kb: int
+    l2_kb_per_core: int
+    l3_mb_shared: float
+    memory_gib: int
+    memory_bw_gbs: float
+    #: FP64 FLOPs per cycle per core (2 AVX-512 FMA ports x 8 lanes x 2).
+    fp64_flops_per_cycle: int = 32
+    simd_doubles: int = 8
+
+    @property
+    def peak_fp64_gflops_per_core(self) -> float:
+        return self.base_ghz * self.fp64_flops_per_cycle
+
+    @property
+    def peak_fp64_gflops(self) -> float:
+        return self.cores * self.peak_fp64_gflops_per_core
+
+    @property
+    def memory_bytes(self) -> int:
+        return self.memory_gib * 2**30
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Table II: NVIDIA H100 (SXM)."""
+
+    name: str
+    sms: int
+    base_ghz: float
+    memory_mib: int
+    memory_bw_tbs: float
+    l1_scratch_kb: int
+    l2_mb: int
+    fp64_tflops: float
+    warp_size: int = 32
+    max_warps_per_sm: int = 64
+    max_threads_per_block: int = 1024
+    registers_per_sm: int = 65536
+    max_blocks_per_sm: int = 32
+    #: Register allocation granularity (registers are allocated per warp in
+    #: chunks of this many).
+    register_allocation_unit: int = 256
+
+    @property
+    def memory_bytes(self) -> int:
+        return self.memory_mib * 2**20
+
+    @property
+    def memory_bw_bytes_per_s(self) -> float:
+        return self.memory_bw_tbs * 1e12
+
+    @property
+    def peak_fp64_flops(self) -> float:
+        return self.fp64_tflops * 1e12
+
+    @property
+    def operational_intensity(self) -> float:
+        """Machine balance in FLOPs/byte (the paper's 10.1)."""
+        return self.peak_fp64_flops / self.memory_bw_bytes_per_s
+
+
+SAPPHIRE_RAPIDS_8468 = CPUSpec(
+    name="Intel Xeon Platinum 8468 (Sapphire Rapids)",
+    cores=96,
+    sockets=2,
+    base_ghz=3.1,
+    l1d_kb=48,
+    l1i_kb=32,
+    l2_kb_per_core=2048,
+    l3_mb_shared=105.0,
+    memory_gib=1024,
+    memory_bw_gbs=614.4,
+)
+
+H100_SXM = GPUSpec(
+    name="NVIDIA H100",
+    sms=132,
+    base_ghz=1.98,
+    memory_mib=81559,
+    memory_bw_tbs=3.35,
+    l1_scratch_kb=256,
+    l2_mb=50,
+    fp64_tflops=34.0,
+)

@@ -1,0 +1,23 @@
+"""Kokkos-style execution abstraction and instrumentation.
+
+Reproduces the measurement boundary the paper uses: everything inside a
+named kernel launch is "kernel time" (GPU-offloaded, or data-parallel on
+CPU); everything outside is the "serial portion" (Section II-C).  The
+profiler mirrors Kokkos Tools' region/kernel view; the memory tracker mirrors
+the Kokkos + Nsight allocation traces behind Fig. 10.
+"""
+
+from repro.kokkos.space import ExecutionSpace, MemorySpace
+from repro.kokkos.kernel import KernelLaunch, KernelProfile, KERNEL_PROFILES
+from repro.kokkos.profiler import Profiler
+from repro.kokkos.memory import MemoryTracker
+
+__all__ = [
+    "ExecutionSpace",
+    "MemorySpace",
+    "KernelLaunch",
+    "KernelProfile",
+    "KERNEL_PROFILES",
+    "Profiler",
+    "MemoryTracker",
+]

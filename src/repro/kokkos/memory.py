@@ -1,0 +1,101 @@
+"""Labeled memory tracking, mirroring the paper's Fig. 10 methodology.
+
+The paper attributes GPU device memory to (1) Parthenon/Kokkos mesh
+allocations and (2) MPI communication buffers plus the Open MPI driver, via
+Kokkos Tools and Nsight Systems allocation traces.  This tracker keeps the
+same labeled view: current bytes and high-water marks per label and per rank,
+with an out-of-memory check against a device capacity.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+#: Canonical labels used across the package.
+KOKKOS_MESH = "kokkos_mesh"
+KOKKOS_AUX = "kokkos_aux"
+MPI_BUFFERS = "mpi_buffers"
+MPI_DRIVER = "mpi_driver"
+
+
+class OutOfMemoryError(RuntimeError):
+    """Raised when tracked device usage exceeds the device capacity —
+    the OOM wall of Section IV-E."""
+
+
+class MemoryTracker:
+    """Current/high-water byte accounting by (label, rank)."""
+
+    def __init__(self, device_capacity_bytes: Optional[int] = None) -> None:
+        self.device_capacity_bytes = device_capacity_bytes
+        self._current: Dict[Tuple[str, int], int] = defaultdict(int)
+        self._high_water: Dict[Tuple[str, int], int] = defaultdict(int)
+
+    # ----------------------------------------------------------- mutation
+
+    def allocate(self, label: str, nbytes: int, rank: int = 0) -> None:
+        if nbytes < 0:
+            raise ValueError(f"negative allocation {nbytes}")
+        key = (label, rank)
+        self._current[key] += nbytes
+        self._high_water[key] = max(self._high_water[key], self._current[key])
+
+    def free(self, label: str, nbytes: int, rank: int = 0) -> None:
+        key = (label, rank)
+        if nbytes > self._current[key]:
+            raise ValueError(
+                f"freeing {nbytes} bytes from {label!r}/rank{rank} which "
+                f"holds only {self._current[key]}"
+            )
+        self._current[key] -= nbytes
+
+    def set_level(self, label: str, nbytes: int, rank: int = 0) -> None:
+        """Set a label's current usage outright (for model-derived levels)."""
+        if nbytes < 0:
+            raise ValueError(f"negative level {nbytes}")
+        key = (label, rank)
+        self._current[key] = nbytes
+        self._high_water[key] = max(self._high_water[key], nbytes)
+
+    # ------------------------------------------------------------ queries
+
+    def current(self, label: Optional[str] = None, rank: Optional[int] = None) -> int:
+        return self._sum(self._current, label, rank)
+
+    def high_water(
+        self, label: Optional[str] = None, rank: Optional[int] = None
+    ) -> int:
+        return self._sum(self._high_water, label, rank)
+
+    def _sum(
+        self,
+        table: Dict[Tuple[str, int], int],
+        label: Optional[str],
+        rank: Optional[int],
+    ) -> int:
+        return sum(
+            v
+            for (lbl, rnk), v in table.items()
+            if (label is None or lbl == label)
+            and (rank is None or rnk == rank)
+        )
+
+    def breakdown(self) -> Dict[str, int]:
+        """Current bytes per label, summed over ranks (Fig. 10's bars)."""
+        out: Dict[str, int] = defaultdict(int)
+        for (label, _), v in self._current.items():
+            out[label] += v
+        return dict(out)
+
+    def check_capacity(self) -> None:
+        """Raise :class:`OutOfMemoryError` if usage exceeds device capacity."""
+        if self.device_capacity_bytes is None:
+            return
+        used = self.current()
+        if used > self.device_capacity_bytes:
+            raise OutOfMemoryError(
+                f"device memory exhausted: {used / 2**30:.1f} GiB used of "
+                f"{self.device_capacity_bytes / 2**30:.1f} GiB"
+            )

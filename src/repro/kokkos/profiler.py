@@ -1,0 +1,164 @@
+"""Kokkos-Tools-style profiler over the *simulated* clock.
+
+Regions are pushed/popped around the driver's functions (the names of
+Fig. 3: ``CalculateFluxes``, ``SendBoundBufs``, ``RedistributeAndRefine-
+MeshBlocks``, …).  Time is attributed to the innermost open region, split
+into the paper's two categories:
+
+* ``kernel`` — inside a named kernel launch (GPU-offloaded, or data-parallel
+  on the CPU), and
+* ``serial`` — everything else (Section II-C's "serial portion").
+
+The per-kernel accumulation regenerates Table III's duration column; the
+per-region split regenerates Figs. 7, 9, 11 and 12.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass
+class RegionTimes:
+    """Seconds attributed to one region, split by category."""
+
+    serial: float = 0.0
+    kernel: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.serial + self.kernel
+
+
+class Profiler:
+    """Accumulates simulated seconds by region and by kernel."""
+
+    TOPLEVEL = "other"
+
+    def __init__(self) -> None:
+        self._stack: List[str] = []
+        self.regions: Dict[str, RegionTimes] = defaultdict(RegionTimes)
+        self.kernel_seconds: Dict[str, float] = defaultdict(float)
+        self.kernel_launches: Dict[str, int] = defaultdict(int)
+        self.cycles: int = 0
+        #: Serialized simulated-timeline events: (region, category,
+        #: kernel-or-None, start_s, duration_s, cycle).
+        self.events: List[Tuple[str, str, Optional[str], float, float, int]] = []
+        self._now = 0.0
+
+    # ------------------------------------------------------------- regions
+
+    @contextmanager
+    def region(self, name: str) -> Iterator[None]:
+        """Scope all time charged inside to ``name``."""
+        self._stack.append(name)
+        try:
+            yield
+        finally:
+            self._stack.pop()
+
+    @property
+    def current_region(self) -> str:
+        return self._stack[-1] if self._stack else self.TOPLEVEL
+
+    # ------------------------------------------------------------ charging
+
+    def add_serial(self, seconds: float) -> None:
+        """Charge serial-portion time to the current region."""
+        if seconds < 0:
+            raise ValueError(f"negative time {seconds}")
+        self.regions[self.current_region].serial += seconds
+        self.events.append(
+            (self.current_region, "serial", None, self._now, seconds, self.cycles)
+        )
+        self._now += seconds
+
+    def add_kernel(self, name: str, seconds: float) -> None:
+        """Charge kernel time to the current region and the kernel's bin."""
+        if seconds < 0:
+            raise ValueError(f"negative time {seconds}")
+        self.regions[self.current_region].kernel += seconds
+        self.kernel_seconds[name] += seconds
+        self.kernel_launches[name] += 1
+        self.events.append(
+            (self.current_region, "kernel", name, self._now, seconds, self.cycles)
+        )
+        self._now += seconds
+
+    def end_cycle(self) -> None:
+        self.cycles += 1
+
+    # ------------------------------------------------------------- queries
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(r.total for r in self.regions.values())
+
+    @property
+    def total_kernel_seconds(self) -> float:
+        return sum(r.kernel for r in self.regions.values())
+
+    @property
+    def total_serial_seconds(self) -> float:
+        return sum(r.serial for r in self.regions.values())
+
+    def kernel_fraction(self) -> float:
+        """Fraction of total time inside kernels (Fig. 9's split)."""
+        total = self.total_seconds
+        return self.total_kernel_seconds / total if total > 0 else 0.0
+
+    def function_breakdown(self) -> Dict[str, RegionTimes]:
+        """Per-function times, Fig. 11/12 style (sorted by total, desc)."""
+        return dict(
+            sorted(
+                self.regions.items(), key=lambda kv: kv[1].total, reverse=True
+            )
+        )
+
+    def top_kernels(self, n: int = 10) -> List[Tuple[str, float]]:
+        """The n most time-consuming kernels (Table III's selection)."""
+        ranked = sorted(
+            self.kernel_seconds.items(), key=lambda kv: kv[1], reverse=True
+        )
+        return ranked[:n]
+
+    def to_chrome_trace(self) -> dict:
+        """Export the simulated timeline as a Chrome-trace/Perfetto JSON.
+
+        Two lanes: tid 1 carries the host serial portion, tid 2 the device
+        kernels — the Nsight-Systems-style view of the run.  Timestamps are
+        simulated microseconds.
+        """
+        trace = []
+        for region, category, kernel, start, dur, cycle in self.events:
+            trace.append(
+                {
+                    "name": kernel or region,
+                    "cat": category,
+                    "ph": "X",
+                    "ts": start * 1e6,
+                    "dur": dur * 1e6,
+                    "pid": 1,
+                    "tid": 1 if category == "serial" else 2,
+                    "args": {"region": region, "cycle": cycle},
+                }
+            )
+        return {
+            "traceEvents": trace,
+            "displayTimeUnit": "ms",
+            "otherData": {"source": "repro simulated platform"},
+        }
+
+    def merge(self, other: "Profiler") -> None:
+        """Fold another profiler's accumulations into this one."""
+        for name, times in other.regions.items():
+            self.regions[name].serial += times.serial
+            self.regions[name].kernel += times.kernel
+        for name, sec in other.kernel_seconds.items():
+            self.kernel_seconds[name] += sec
+        for name, cnt in other.kernel_launches.items():
+            self.kernel_launches[name] += cnt
+        self.cycles += other.cycles

@@ -1,0 +1,29 @@
+"""Execution and memory spaces, mirroring Kokkos' abstractions."""
+
+from __future__ import annotations
+
+import enum
+
+
+class ExecutionSpace(enum.Enum):
+    """Where a kernel runs."""
+
+    HOST_SERIAL = "host_serial"
+    HOST_OPENMP = "host_openmp"
+    CUDA = "cuda"
+
+    @property
+    def is_device(self) -> bool:
+        return self is ExecutionSpace.CUDA
+
+
+class MemorySpace(enum.Enum):
+    """Where an allocation lives.
+
+    Parthenon allocates all simulation data directly in device memory on GPU
+    builds (Section II-C), so the memory tracker places mesh data in
+    ``DEVICE`` whenever the execution space is CUDA.
+    """
+
+    HOST = "host"
+    DEVICE = "device"

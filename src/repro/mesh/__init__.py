@@ -1,0 +1,14 @@
+"""Block-structured AMR mesh substrate.
+
+Implements the tree-based mesh described in Section II of the paper: logical
+locations, a binary/quad/octree of MeshBlocks with the 2:1 refinement rule,
+refinement tagging, prolongation/restriction operators, and Morton-ordered
+cost-based load balancing.
+"""
+
+from repro.mesh.logical_location import LogicalLocation
+from repro.mesh.tree import BlockTree
+from repro.mesh.block import MeshBlock
+from repro.mesh.mesh import Mesh, MeshGeometry
+
+__all__ = ["LogicalLocation", "BlockTree", "MeshBlock", "Mesh", "MeshGeometry"]

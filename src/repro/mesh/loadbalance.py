@@ -1,0 +1,119 @@
+"""Cost-based load balancing over the Morton-ordered block list.
+
+Parthenon distributes MeshBlocks to MPI ranks by splitting the Z-order
+(Morton) curve into contiguous chunks of approximately equal cost
+(Section II-E, ``RedistributeAndRefineMeshBlocks``).  Contiguity along the
+space-filling curve keeps most neighbor communication local to a rank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.mesh.mesh import Mesh
+
+
+@dataclass
+class RedistributionPlan:
+    """Outcome of one load-balancing pass, consumed by the cost model."""
+
+    assignments: List[int]
+    moved_blocks: int
+    moved_cost: float
+    rank_costs: List[float]
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean rank cost; 1.0 is perfect balance."""
+        mean = sum(self.rank_costs) / len(self.rank_costs)
+        if mean == 0.0:
+            return 1.0
+        return max(self.rank_costs) / mean
+
+
+def partition_contiguous(costs: Sequence[float], nranks: int) -> List[int]:
+    """Split ``costs`` into ``nranks`` contiguous chunks of near-equal cost.
+
+    Uses Parthenon's sweep strategy: walk the Morton-ordered list keeping a
+    running target of ``total / nranks`` per rank, advancing to the next rank
+    once its share is met, while guaranteeing every remaining rank can still
+    receive at least one block when there are enough blocks.
+    """
+    n = len(costs)
+    if nranks < 1:
+        raise ValueError(f"nranks must be >= 1, got {nranks}")
+    if n == 0:
+        return []
+    remaining_total = float(sum(costs))
+    assignments = [0] * n
+    rank = 0
+    acc = 0.0
+    # Target for the current rank, renormalized whenever a rank closes so
+    # rounding never piles the remainder onto the final rank.
+    target = remaining_total / nranks
+    for i, cost in enumerate(costs):
+        remaining_blocks = n - i
+        ranks_after = nranks - rank - 1
+        starving = remaining_blocks <= ranks_after
+        # Advance when adding this block would overshoot the target by more
+        # than stopping short undershoots it (choose the closer split).
+        overshoots = acc + 0.5 * cost >= target
+        if rank < nranks - 1 and acc > 0.0 and (overshoots or starving):
+            rank += 1
+            target = remaining_total / (nranks - rank)
+            acc = 0.0
+        assignments[i] = rank
+        acc += cost
+        remaining_total -= cost
+    return assignments
+
+
+def partition_round_robin(ncosts: int, nranks: int) -> List[int]:
+    """Strided block→rank assignment (the locality strawman).
+
+    Spreads load perfectly for uniform costs but scatters neighboring
+    blocks across ranks, turning most ghost exchanges into remote
+    messages — the ablation benchmark quantifies the damage relative to
+    the Morton-contiguous default.
+    """
+    if nranks < 1:
+        raise ValueError(f"nranks must be >= 1, got {nranks}")
+    return [i % nranks for i in range(ncosts)]
+
+
+def balance(
+    mesh: Mesh, nranks: int, policy: str = "contiguous"
+) -> RedistributionPlan:
+    """Assign every block to a rank; record how many blocks moved.
+
+    Blocks are in Morton order already (``Mesh`` renumbers after each tree
+    change), so the contiguous partition is applied directly to
+    ``mesh.block_list``.  ``policy`` selects Parthenon's Morton-contiguous
+    split (default) or strided round-robin.
+    """
+    costs = [blk.cost for blk in mesh.block_list]
+    if policy == "contiguous":
+        assignments = partition_contiguous(costs, nranks)
+    elif policy == "round_robin":
+        assignments = partition_round_robin(len(costs), nranks)
+    else:
+        raise ValueError(
+            f"unknown load-balance policy {policy!r}; "
+            "expected 'contiguous' or 'round_robin'"
+        )
+    moved = 0
+    moved_cost = 0.0
+    rank_costs = [0.0] * nranks
+    for blk, rank in zip(mesh.block_list, assignments):
+        if blk.rank != rank:
+            moved += 1
+            moved_cost += blk.cost
+        blk.rank = rank
+        rank_costs[rank] += blk.cost
+    return RedistributionPlan(
+        assignments=assignments,
+        moved_blocks=moved,
+        moved_cost=moved_cost,
+        rank_costs=rank_costs,
+    )

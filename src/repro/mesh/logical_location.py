@@ -1,0 +1,124 @@
+"""Logical locations of MeshBlocks in the refinement tree.
+
+A :class:`LogicalLocation` identifies a block by its refinement ``level``
+(0 = the base grid) and integer coordinates ``(lx1, lx2, lx3)`` within that
+level.  At level ``l`` the domain is tiled by ``nroot_i * 2**l`` blocks along
+dimension ``i``, where ``nroot_i`` is the number of base-grid blocks.  The
+tree in :mod:`repro.mesh.tree` is a forest rooted at the base grid, matching
+Parthenon's requirement that the total mesh size be an exact multiple of the
+MeshBlock size (Section II-F).
+
+Coordinates in unused dimensions are always 0 (a 2D mesh keeps ``lx3 == 0``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence, Tuple
+
+
+def _interleave_bits(coords: Sequence[int], nbits: int) -> int:
+    """Interleave the low ``nbits`` bits of each coordinate into a Morton key.
+
+    Bit ``b`` of coordinate ``i`` lands at position ``b * len(coords) + i`` of
+    the key, giving the standard Z-order curve.
+    """
+    key = 0
+    ndim = len(coords)
+    for b in range(nbits):
+        for i, c in enumerate(coords):
+            key |= ((c >> b) & 1) << (b * ndim + i)
+    return key
+
+
+@dataclass(frozen=True, order=True)
+class LogicalLocation:
+    """Position of a MeshBlock in the refinement hierarchy.
+
+    Instances are immutable and hashable so they can serve as dictionary keys
+    in the tree and in communication-buffer registries.
+    """
+
+    level: int
+    lx1: int = 0
+    lx2: int = 0
+    lx3: int = 0
+
+    @property
+    def coords(self) -> Tuple[int, int, int]:
+        return (self.lx1, self.lx2, self.lx3)
+
+    def coord(self, axis: int) -> int:
+        """Coordinate along ``axis`` (0, 1 or 2)."""
+        return self.coords[axis]
+
+    def parent(self) -> "LogicalLocation":
+        """Location of the parent block one level coarser."""
+        if self.level == 0:
+            raise ValueError(f"base-grid block {self} has no parent")
+        return LogicalLocation(
+            self.level - 1, self.lx1 >> 1, self.lx2 >> 1, self.lx3 >> 1
+        )
+
+    def children(self, ndim: int) -> Iterator["LogicalLocation"]:
+        """The 2**ndim child locations one level finer, in Z-order."""
+        n1 = 2
+        n2 = 2 if ndim >= 2 else 1
+        n3 = 2 if ndim >= 3 else 1
+        for k in range(n3):
+            for j in range(n2):
+                for i in range(n1):
+                    yield LogicalLocation(
+                        self.level + 1,
+                        2 * self.lx1 + i,
+                        2 * self.lx2 + j,
+                        2 * self.lx3 + k,
+                    )
+
+    def child_index(self, ndim: int) -> Tuple[int, int, int]:
+        """This block's position (0 or 1 per axis) within its parent."""
+        if self.level == 0:
+            raise ValueError(f"base-grid block {self} has no parent")
+        idx = (self.lx1 & 1, self.lx2 & 1, self.lx3 & 1)
+        return tuple(idx[a] if a < ndim else 0 for a in range(3))
+
+    def offset(self, o1: int, o2: int = 0, o3: int = 0) -> "LogicalLocation":
+        """Same-level location displaced by ``(o1, o2, o3)`` blocks."""
+        return LogicalLocation(self.level, self.lx1 + o1, self.lx2 + o2, self.lx3 + o3)
+
+    def is_ancestor_of(self, other: "LogicalLocation") -> bool:
+        """True when ``other`` lies strictly inside this block's subtree."""
+        if other.level <= self.level:
+            return False
+        shift = other.level - self.level
+        return (
+            (other.lx1 >> shift) == self.lx1
+            and (other.lx2 >> shift) == self.lx2
+            and (other.lx3 >> shift) == self.lx3
+        )
+
+    def contains(self, other: "LogicalLocation") -> bool:
+        """True when ``other`` is this block or a descendant of it."""
+        return other == self or self.is_ancestor_of(other)
+
+    def morton_key(self, max_level: int) -> Tuple[int, int]:
+        """Z-order sort key at a common finest level.
+
+        Leaves sorted by this key appear in depth-first tree order: all
+        descendants of a node share the node's high bits and therefore form a
+        contiguous key range, which is what the Morton-ordered load balancer
+        relies on.  The level is included as a tie-breaker so that a block
+        always sorts before any of its descendants (relevant only when both
+        appear in one list, e.g. during redistribution planning).
+        """
+        if max_level < self.level:
+            raise ValueError(
+                f"max_level {max_level} below block level {self.level}"
+            )
+        shift = max_level - self.level
+        coords = (self.lx1 << shift, self.lx2 << shift, self.lx3 << shift)
+        # 21 bits per axis is enough for any realistic tree (2^21 blocks/axis).
+        return (_interleave_bits(coords, 21), self.level)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LL(l={self.level}, {self.lx1},{self.lx2},{self.lx3})"

@@ -1,0 +1,105 @@
+"""Prolongation: slope-limited linear interpolation from coarse to fine cells.
+
+Each coarse cell is split into ``2**ndim`` fine cells whose values are
+``c ± s_a/4`` per active axis, with per-axis slopes ``s_a`` limited by minmod.
+This is exact for linear fields (so ghost-zone fills across fine–coarse
+boundaries introduce no error on smooth linear data — a property the tests
+rely on) and preserves the coarse cell average, so refinement conserves the
+total of every conserved variable.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def minmod(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """The minmod slope limiter: 0 on sign disagreement, else the smaller."""
+    return np.where(a * b <= 0.0, 0.0, np.where(np.abs(a) < np.abs(b), a, b))
+
+
+def _axis_slices(axis: int, lo: int, hi_offset: int, ndim_total: int = 4):
+    """Slice tuple selecting ``[lo : n + hi_offset]`` along ``axis``."""
+    s = [slice(None)] * ndim_total
+    s[axis] = slice(lo, hi_offset if hi_offset < 0 else None)
+    return tuple(s)
+
+
+def limited_slopes(arr: np.ndarray, axis: int) -> np.ndarray:
+    """Minmod-limited slopes along ``axis`` for the cells ``1..n-2``.
+
+    The returned array is two cells shorter along ``axis`` than the input.
+    """
+    left = arr[_axis_slices(axis, 1, -1)] - arr[_axis_slices(axis, 0, -2)]
+    right = arr[_axis_slices(axis, 2, 0)] - arr[_axis_slices(axis, 1, -1)]
+    return minmod(left, right)
+
+
+def prolong(coarse: np.ndarray, ndim: int, limit: bool = True) -> np.ndarray:
+    """Interpolate ``coarse`` (with a 1-cell margin) to fine resolution.
+
+    ``coarse`` has shape ``(ncomp, m3, m2, m1)`` where every *active*
+    dimension carries at least one margin cell on each side for slope
+    computation.  The result covers only the margin-stripped interior at
+    double resolution: active extent ``2 * (m - 2)``.
+
+    When ``limit`` is False, unlimited central-difference slopes are used
+    (useful to demonstrate why limiting matters near discontinuities).
+    """
+    if coarse.ndim != 4:
+        raise ValueError(f"expected 4-axis array, got shape {coarse.shape}")
+    for a in range(ndim):
+        if coarse.shape[3 - a] < 3:
+            raise ValueError(
+                f"active dimension {a} needs >= 3 cells (1-cell margins), "
+                f"got {coarse.shape[3 - a]}"
+            )
+
+    # Strip margins to get the coarse interior, and per-axis slopes on it.
+    center = coarse
+    for a in range(ndim):
+        center = center[_axis_slices(3 - a, 1, -1)]
+
+    slopes = []
+    for a in range(ndim):
+        if limit:
+            s = limited_slopes(coarse, 3 - a)
+        else:
+            s = 0.5 * (
+                coarse[_axis_slices(3 - a, 2, 0)]
+                - coarse[_axis_slices(3 - a, 0, -2)]
+            )
+        # Strip margins along the *other* active dimensions.
+        for b in range(ndim):
+            if b != a:
+                s = s[_axis_slices(3 - b, 1, -1)]
+        slopes.append(s)
+
+    # Expand: repeat each coarse cell 2x per active axis, then add the
+    # alternating ±s/4 offsets.
+    fine = center
+    for a in range(ndim):
+        fine = np.repeat(fine, 2, axis=3 - a)
+    for a, s in enumerate(slopes):
+        axis = 3 - a
+        expanded = s
+        for b in range(ndim):
+            expanded = np.repeat(expanded, 2, axis=3 - b)
+        n = expanded.shape[axis]
+        signs_shape = [1, 1, 1, 1]
+        signs_shape[axis] = n
+        signs = np.where(np.arange(n) % 2 == 0, -0.25, 0.25).reshape(signs_shape)
+        fine = fine + expanded * signs
+    return fine
+
+
+def prolong_shape(
+    coarse_shape: Tuple[int, ...], ndim: int
+) -> Tuple[int, ...]:
+    """Output shape of :func:`prolong` for a given input shape."""
+    out = list(coarse_shape)
+    for a in range(ndim):
+        out[3 - a] = 2 * (out[3 - a] - 2)
+    return tuple(out)

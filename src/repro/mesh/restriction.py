@@ -1,0 +1,37 @@
+"""Restriction: volume-averaging fine cells onto the overlying coarse cells.
+
+Used when derefining blocks, when synchronizing a block's coarse buffer, and
+— crucially for communication volume (Section II-C) — *before* sending data
+from a fine block to a coarser neighbor, which shrinks the message by
+``2**ndim``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def restrict(fine: np.ndarray, ndim: int) -> np.ndarray:
+    """Average ``fine`` down by a factor of two per active dimension.
+
+    ``fine`` has shape ``(ncomp, n3, n2, n1)``; every active dimension must
+    have even extent.  Volume averaging is exact for conservation: the sum of
+    ``coarse * 2**ndim`` equals the sum of ``fine``.
+    """
+    if fine.ndim != 4:
+        raise ValueError(f"expected 4-axis array, got shape {fine.shape}")
+    ncomp, n3, n2, n1 = fine.shape
+    # Array axes (1, 2, 3) hold x3, x2, x1; axis 3 - a holds dimension a.
+    for a in range(ndim):
+        if fine.shape[3 - a] % 2 != 0:
+            raise ValueError(
+                f"active dimension {a} has odd extent {fine.shape[3 - a]}"
+            )
+    out = fine
+    for a in range(ndim):
+        axis = 3 - a
+        shape = list(out.shape)
+        shape[axis] //= 2
+        shape.insert(axis + 1, 2)
+        out = out.reshape(shape).mean(axis=axis + 1)
+    return out

@@ -1,0 +1,334 @@
+"""Forest-of-octrees block tree with 2:1 refinement enforcement.
+
+The tree mirrors Parthenon's tree-based AMR (Section II-B): every spatial
+location is covered by exactly one leaf MeshBlock, refinement subdivides a
+leaf into 2**ndim children, and neighboring leaves never differ by more than
+one refinement level.  The base grid forms the roots of the forest, so the
+total mesh size must be an exact multiple of the MeshBlock size.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.mesh.logical_location import LogicalLocation
+
+Offset = Tuple[int, int, int]
+
+
+def neighbor_offsets(ndim: int) -> List[Offset]:
+    """All face/edge/corner offsets for ``ndim`` dimensions (excluding zero).
+
+    1D has 2 offsets, 2D has 8, 3D has 26 — the full neighborhood Parthenon
+    exchanges ghost data with.
+    """
+    ranges = [(-1, 0, 1) if a < ndim else (0,) for a in range(3)]
+    return [o for o in itertools.product(*ranges) if o != (0, 0, 0)]
+
+
+class BlockTree:
+    """The set of leaf MeshBlocks tiling the domain, with tree operations.
+
+    Parameters
+    ----------
+    nroot:
+        Number of base-grid (level 0) blocks along each dimension.  Unused
+        dimensions must be 1.
+    ndim:
+        Spatial dimensionality (1, 2 or 3).
+    num_levels:
+        Total number of refinement levels including the base grid — the
+        paper's ``#AMR Levels``.  ``num_levels=1`` disables refinement.
+    periodic:
+        Per-dimension periodicity of the domain boundary.
+    """
+
+    def __init__(
+        self,
+        nroot: Sequence[int],
+        ndim: int,
+        num_levels: int = 1,
+        periodic: Sequence[bool] = (True, True, True),
+    ) -> None:
+        if ndim not in (1, 2, 3):
+            raise ValueError(f"ndim must be 1, 2 or 3, got {ndim}")
+        if num_levels < 1:
+            raise ValueError(f"num_levels must be >= 1, got {num_levels}")
+        nroot = tuple(nroot)
+        if len(nroot) != 3:
+            raise ValueError("nroot must have 3 entries (use 1 for unused dims)")
+        for a in range(3):
+            if a < ndim and nroot[a] < 1:
+                raise ValueError(f"nroot[{a}] must be >= 1, got {nroot[a]}")
+            if a >= ndim and nroot[a] != 1:
+                raise ValueError(
+                    f"nroot[{a}] must be 1 for an unused dimension, got {nroot[a]}"
+                )
+        self.nroot = nroot
+        self.ndim = ndim
+        self.num_levels = num_levels
+        self.periodic = tuple(periodic)
+        self._leaves: Set[LogicalLocation] = set(
+            LogicalLocation(0, i, j, k)
+            for k in range(nroot[2])
+            for j in range(nroot[1])
+            for i in range(nroot[0])
+        )
+        self._offsets = neighbor_offsets(ndim)
+        self._dims_by_level = [
+            tuple(n << lvl for n in nroot) for lvl in range(num_levels + 1)
+        ]
+
+    # ------------------------------------------------------------------ basic
+
+    @property
+    def max_level(self) -> int:
+        """Finest level refinement is allowed to reach."""
+        return self.num_levels - 1
+
+    @property
+    def leaves(self) -> Set[LogicalLocation]:
+        """The current leaf set (do not mutate)."""
+        return self._leaves
+
+    def __len__(self) -> int:
+        return len(self._leaves)
+
+    def __contains__(self, loc: LogicalLocation) -> bool:
+        return loc in self._leaves
+
+    def blocks_per_dim(self, level: int) -> Tuple[int, int, int]:
+        """Number of block positions along each dimension at ``level``."""
+        if level < len(self._dims_by_level):
+            return self._dims_by_level[level]
+        return tuple(n << level for n in self.nroot)
+
+    def in_domain(self, loc: LogicalLocation) -> bool:
+        """True when ``loc`` lies inside the domain (no wrapping applied)."""
+        d = self.blocks_per_dim(loc.level)
+        return (
+            0 <= loc.lx1 < d[0]
+            and 0 <= loc.lx2 < d[1]
+            and 0 <= loc.lx3 < d[2]
+        )
+
+    def wrap(self, loc: LogicalLocation) -> Optional[LogicalLocation]:
+        """Map ``loc`` into the domain via periodic wrapping.
+
+        Returns None when the location is outside a non-periodic boundary
+        (i.e. there is no neighbor there, only a physical boundary).
+        """
+        d = self.blocks_per_dim(loc.level)
+        x1, x2, x3 = loc.lx1, loc.lx2, loc.lx3
+        if 0 <= x1 < d[0] and 0 <= x2 < d[1] and 0 <= x3 < d[2]:
+            return loc
+        p = self.periodic
+        if not (0 <= x1 < d[0]):
+            if not p[0]:
+                return None
+            x1 %= d[0]
+        if not (0 <= x2 < d[1]):
+            if not p[1]:
+                return None
+            x2 %= d[1]
+        if not (0 <= x3 < d[2]):
+            if not p[2]:
+                return None
+            x3 %= d[2]
+        return LogicalLocation(loc.level, x1, x2, x3)
+
+    def leaves_sorted(self) -> List[LogicalLocation]:
+        """Leaves in Morton (Z-order / depth-first) order."""
+        top = self.finest_level_present()
+        return sorted(self._leaves, key=lambda l: l.morton_key(top))
+
+    def finest_level_present(self) -> int:
+        """Finest level any current leaf sits on."""
+        return max(l.level for l in self._leaves)
+
+    # ------------------------------------------------------------- coverage
+
+    def covering_leaf(self, loc: LogicalLocation) -> Optional[LogicalLocation]:
+        """The leaf that covers location ``loc`` (itself or an ancestor).
+
+        Returns None when ``loc``'s region is covered only by *finer* leaves
+        (or the location is outside the domain).
+        """
+        if not self.in_domain(loc):
+            return None
+        probe = loc
+        while True:
+            if probe in self._leaves:
+                return probe
+            if probe.level == 0:
+                return None
+            probe = probe.parent()
+
+    def neighbor_leaves(
+        self, loc: LogicalLocation, offset: Offset
+    ) -> List[Tuple[LogicalLocation, int]]:
+        """Leaves adjacent to leaf ``loc`` across ``offset``.
+
+        Returns ``(neighbor_location, level_delta)`` pairs where level_delta
+        is ``neighbor.level - loc.level`` (−1 coarser, 0 same, +1 finer).
+        Under the 2:1 rule these are the only possibilities.  An empty list
+        means a physical (non-periodic) domain boundary.
+        """
+        nloc = self.wrap(loc.offset(*offset))
+        if nloc is None:
+            return []
+        leaf = self.covering_leaf(nloc)
+        if leaf is not None:
+            delta = leaf.level - loc.level
+            if delta < -1:
+                raise RuntimeError(
+                    f"2:1 violation: {loc} has neighbor leaf {leaf} across {offset}"
+                )
+            return [(leaf, delta)]
+        # Covered by finer leaves: collect the children of nloc that touch loc.
+        result = []
+        for child in nloc.children(self.ndim):
+            idx = child.child_index(self.ndim)
+            touches = True
+            for a in range(self.ndim):
+                if offset[a] == -1 and idx[a] != 1:
+                    touches = False
+                elif offset[a] == 1 and idx[a] != 0:
+                    touches = False
+            if not touches:
+                continue
+            if child in self._leaves:
+                result.append((child, child.level - loc.level))
+            else:
+                raise RuntimeError(
+                    f"2:1 violation: region {child} adjacent to {loc} is "
+                    "covered by leaves more than one level finer"
+                )
+        return result
+
+    # ----------------------------------------------------------- refinement
+
+    def refine(self, loc: LogicalLocation) -> List[LogicalLocation]:
+        """Refine leaf ``loc``, cascading to preserve the 2:1 rule.
+
+        Returns every leaf that was refined (``loc`` plus any coarser
+        neighbors forced to refine first).
+        """
+        if loc not in self._leaves:
+            raise ValueError(f"{loc} is not a leaf")
+        if loc.level >= self.max_level:
+            raise ValueError(
+                f"{loc} is already at the maximum level {self.max_level}"
+            )
+        refined: List[LogicalLocation] = []
+        self._refine_recursive(loc, refined)
+        return refined
+
+    def _refine_recursive(
+        self, loc: LogicalLocation, refined: List[LogicalLocation]
+    ) -> None:
+        # Any neighbor region currently one level *coarser* must refine first,
+        # otherwise loc's children (level+1) would touch a level-1 leaf.
+        for offset in self._offsets:
+            nloc = self.wrap(loc.offset(*offset))
+            if nloc is None:
+                continue
+            leaf = self.covering_leaf(nloc)
+            if leaf is not None and leaf.level == loc.level - 1:
+                self._refine_recursive(leaf, refined)
+        self._leaves.discard(loc)
+        self._leaves.update(loc.children(self.ndim))
+        refined.append(loc)
+
+    def can_derefine(self, parent: LogicalLocation) -> bool:
+        """Whether ``parent``'s children may be merged without violating 2:1."""
+        children = list(parent.children(self.ndim))
+        if not all(c in self._leaves for c in children):
+            return False
+        family = set(children)
+        for child in children:
+            for offset in self._offsets:
+                nloc = self.wrap(child.offset(*offset))
+                if nloc is None or nloc in family:
+                    continue
+                if nloc in self._leaves:
+                    continue
+                if self.covering_leaf(nloc) is not None:
+                    continue
+                # nloc's region is covered by finer leaves: after merging,
+                # parent (level L) would neighbor level L+2 leaves.
+                return False
+        return True
+
+    def derefine(self, parent: LogicalLocation) -> None:
+        """Merge ``parent``'s children back into ``parent``."""
+        if not self.can_derefine(parent):
+            raise ValueError(f"cannot derefine {parent}")
+        for child in parent.children(self.ndim):
+            self._leaves.discard(child)
+        self._leaves.add(parent)
+
+    def apply_flags(
+        self,
+        refine: Iterable[LogicalLocation],
+        derefine: Iterable[LogicalLocation],
+    ) -> Tuple[List[LogicalLocation], List[LogicalLocation]]:
+        """Apply per-leaf refinement/derefinement flags, Parthenon-style.
+
+        Refinement takes priority; derefinement happens only when *all*
+        siblings request it and the 2:1 rule allows the merge.  Returns the
+        (refined_leaves, derefined_parents) actually performed — this is what
+        ``UpdateMeshBlockTree`` does after the flag All-Gather.
+        """
+        refined: List[LogicalLocation] = []
+        refine_set = {l for l in refine if l in self._leaves}
+        for loc in sorted(refine_set, key=lambda l: (l.level, l.coords)):
+            if loc in self._leaves and loc.level < self.max_level:
+                refined.extend(self.refine(loc))
+
+        derefined: List[LogicalLocation] = []
+        wants = {l for l in derefine if l in self._leaves and l not in refine_set}
+        parents: Dict[LogicalLocation, int] = {}
+        for loc in wants:
+            if loc.level == 0:
+                continue
+            p = loc.parent()
+            parents[p] = parents.get(p, 0) + 1
+        nchild = 2 ** self.ndim
+        for parent, votes in sorted(parents.items(), key=lambda kv: kv[0]):
+            if votes == nchild and self.can_derefine(parent):
+                self.derefine(parent)
+                derefined.append(parent)
+        return refined, derefined
+
+    # ----------------------------------------------------------- validation
+
+    def check_valid(self) -> None:
+        """Assert the leaf set tiles the domain exactly and satisfies 2:1."""
+        total = 0.0
+        for leaf in self._leaves:
+            if leaf.level > self.max_level:
+                raise AssertionError(f"{leaf} exceeds max level {self.max_level}")
+            if not self.in_domain(leaf):
+                raise AssertionError(f"{leaf} outside the domain")
+            total += 2.0 ** (-self.ndim * leaf.level)
+        expected = float(self.nroot[0] * self.nroot[1] * self.nroot[2])
+        if abs(total - expected) > 1e-9 * expected:
+            raise AssertionError(
+                f"leaves cover {total} root-block volumes, expected {expected}"
+            )
+        for leaf in self._leaves:
+            for offset in self._offsets:
+                # neighbor_leaves raises on any 2:1 violation.
+                self.neighbor_leaves(leaf, offset)
+
+    def level_counts(self) -> Dict[int, int]:
+        """Number of leaves on each level."""
+        counts: Dict[int, int] = {}
+        for leaf in self._leaves:
+            counts[leaf.level] = counts.get(leaf.level, 0) + 1
+        return counts
+
+    def __iter__(self) -> Iterator[LogicalLocation]:
+        return iter(self._leaves)

@@ -1,0 +1,24 @@
+"""The VIBE physics package: the 3D Vector Inviscid Burgers' Equation.
+
+Implements the Burgers benchmark of Section II-G: a Godunov-type finite
+volume scheme with slope-limited linear (PLM) or WENO5 reconstruction, HLL
+fluxes, second-order Runge-Kutta time integration, one or more passive
+scalars advected with the flow, and the derived kinetic-energy-like quantity
+``d = 1/2 * q0 * u·u``.
+"""
+
+from repro.solver.state import Metadata, StateDescriptor, VariableRegistry
+from repro.solver.burgers import BurgersPackage
+from repro.solver.reconstruction import plm_face_states, weno5_face_states
+from repro.solver.riemann import hll_flux, llf_flux
+
+__all__ = [
+    "Metadata",
+    "StateDescriptor",
+    "VariableRegistry",
+    "BurgersPackage",
+    "plm_face_states",
+    "weno5_face_states",
+    "hll_flux",
+    "llf_flux",
+]

@@ -1,0 +1,115 @@
+"""Initial conditions for the Burgers benchmark and the examples.
+
+``gaussian_blob`` mirrors the Parthenon-VIBE setup: a smooth localized
+velocity pulse that steepens into shocks and drives refinement outward — the
+paper's ripples-on-water picture.  The others are analysis-friendly states
+used by the tests (constant advection has an exact solution; the 1D shock
+tube has a known Rankine-Hugoniot speed).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.mesh.mesh import Mesh
+from repro.solver.burgers import BurgersPackage, CONSERVED, DERIVED
+
+
+def _coords(block, include_ghosts=True):
+    return [block.cell_centers(a, include_ghosts) for a in range(3)]
+
+
+def _broadcast(x1, x2, x3, ndim):
+    """Meshgrid-style broadcastable coordinate arrays in (x3, x2, x1) order."""
+    g1 = x1[None, None, :]
+    g2 = x2[None, :, None] if ndim >= 2 else np.zeros((1, 1, 1))
+    g3 = x3[:, None, None] if ndim >= 3 else np.zeros((1, 1, 1))
+    return g1, g2, g3
+
+
+def gaussian_blob(
+    mesh: Mesh,
+    pkg: BurgersPackage,
+    amplitude: float = 1.0,
+    width: float = 0.1,
+    center: Tuple[float, float, float] = (0.5, 0.5, 0.5),
+    background_scalar: float = 1.0,
+) -> None:
+    """Outward-directed Gaussian velocity pulse with scalar blobs.
+
+    The velocity points radially outward so the pulse expands like a ripple,
+    steepening into an N-wave — the canonical VIBE workload.
+    """
+    for blk in mesh.block_list:
+        x1, x2, x3 = _coords(blk)
+        g1, g2, g3 = _broadcast(x1, x2, x3, mesh.ndim)
+        d1 = g1 - center[0]
+        d2 = g2 - center[1] if mesh.ndim >= 2 else 0.0 * g1
+        d3 = g3 - center[2] if mesh.ndim >= 3 else 0.0 * g1
+        r2 = d1 * d1 + d2 * d2 + d3 * d3
+        r = np.sqrt(r2) + 1e-12
+        envelope = amplitude * np.exp(-r2 / (width * width))
+        u = blk.fields[CONSERVED]
+        u[0] = envelope * d1 / r
+        if mesh.ndim >= 2:
+            u[1] = envelope * d2 / r
+        if mesh.ndim >= 3:
+            u[2] = envelope * d3 / r
+        for j in range(pkg.config.num_scalars):
+            u[pkg.nvel + j] = background_scalar + envelope
+        blk.fields[DERIVED][...] = 0.0
+
+
+def constant_advection(
+    mesh: Mesh,
+    pkg: BurgersPackage,
+    velocity: Sequence[float],
+    wavenumbers: Sequence[int] = (1,),
+) -> None:
+    """Uniform velocity, sinusoidal scalars — exact solution is translation.
+
+    A constant velocity field is a steady solution of the Burgers momentum
+    equation, so the scalars advect rigidly: ``q(x, t) = q(x - v t, 0)``.
+    """
+    for blk in mesh.block_list:
+        x1, x2, x3 = _coords(blk)
+        g1, g2, g3 = _broadcast(x1, x2, x3, mesh.ndim)
+        u = blk.fields[CONSERVED]
+        for i in range(pkg.nvel):
+            u[i] = velocity[i] if i < len(velocity) else 0.0
+        for j in range(pkg.config.num_scalars):
+            k = wavenumbers[j % len(wavenumbers)]
+            u[pkg.nvel + j] = 2.0 + np.sin(2.0 * math.pi * k * g1) * np.ones_like(
+                g2 + g3
+            )
+        blk.fields[DERIVED][...] = 0.0
+
+
+def shock_tube(
+    mesh: Mesh,
+    pkg: BurgersPackage,
+    u_left: float = 1.0,
+    u_right: float = 0.0,
+    interface: float = 0.25,
+) -> None:
+    """1D Riemann problem in ``u_1``: a right-moving Burgers shock.
+
+    For ``u_left > u_right`` the entropy solution is a shock moving at the
+    Rankine-Hugoniot speed ``(u_left + u_right) / 2``.
+    """
+    for blk in mesh.block_list:
+        x1, x2, x3 = _coords(blk)
+        g1, g2, g3 = _broadcast(x1, x2, x3, mesh.ndim)
+        u = blk.fields[CONSERVED]
+        profile = np.where(g1 < interface, u_left, u_right) * np.ones_like(
+            g2 + g3
+        )
+        u[0] = profile
+        for i in range(1, pkg.nvel):
+            u[i] = 0.0
+        for j in range(pkg.config.num_scalars):
+            u[pkg.nvel + j] = 1.0 + profile
+        blk.fields[DERIVED][...] = 0.0

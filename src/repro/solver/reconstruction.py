@@ -1,0 +1,132 @@
+"""Face-value reconstruction: WENO5 and slope-limited linear (PLM).
+
+Both operate on arrays whose *last* axis is the reconstruction direction
+(callers use ``np.moveaxis`` views, so no data is copied).  For a block with
+``nxa`` interior cells and ``ng`` ghost cells along that axis, reconstruction
+produces left/right states at the ``nxa + 1`` interior faces; face ``j`` sits
+between cells ``ng + j - 1`` and ``ng + j``.
+
+WENO5 follows Jiang & Shu (1996) — the scheme the paper's experiments use
+(Section II-G) — and needs 3 ghost cells; PLM needs 2.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.mesh.prolongation import minmod
+
+WENO_EPS = 1e-6
+#: Ghost cells each scheme requires.
+STENCIL_GHOSTS = {"weno5": 3, "plm": 2}
+#: Approximate floating-point operations per reconstructed face value,
+#: used by the platform cost model (WENO5 smoothness indicators dominate).
+FLOPS_PER_FACE = {"weno5": 100, "plm": 12}
+
+
+def _shift(q: np.ndarray, lo: int, hi: int, k: int) -> np.ndarray:
+    """Cells ``lo+k .. hi+k`` along the last axis (half-open)."""
+    return q[..., lo + k : hi + k]
+
+
+def weno5_states_along(q: np.ndarray, ng: int, nxa: int) -> Tuple[np.ndarray, np.ndarray]:
+    """WENO5 left/right states at the ``nxa + 1`` faces of the last axis."""
+    if ng < 3:
+        raise ValueError(f"WENO5 needs >= 3 ghost cells, got {ng}")
+    nfaces = nxa + 1
+
+    def biased(c_lo: int, reverse: bool) -> np.ndarray:
+        """Upwind-biased WENO5 value at one edge of cells c_lo..c_lo+nfaces.
+
+        ``reverse=False`` gives the right-edge (i+1/2) value of each cell,
+        ``reverse=True`` the left-edge (i-1/2) value, by mirroring the
+        stencil.
+        """
+        s = -1 if reverse else 1
+        qm2 = _shift(q, c_lo, c_lo + nfaces, -2 * s)
+        qm1 = _shift(q, c_lo, c_lo + nfaces, -1 * s)
+        q0 = _shift(q, c_lo, c_lo + nfaces, 0)
+        qp1 = _shift(q, c_lo, c_lo + nfaces, 1 * s)
+        qp2 = _shift(q, c_lo, c_lo + nfaces, 2 * s)
+
+        p0 = (2.0 * qm2 - 7.0 * qm1 + 11.0 * q0) / 6.0
+        p1 = (-qm1 + 5.0 * q0 + 2.0 * qp1) / 6.0
+        p2 = (2.0 * q0 + 5.0 * qp1 - qp2) / 6.0
+
+        b0 = (13.0 / 12.0) * (qm2 - 2.0 * qm1 + q0) ** 2 + 0.25 * (
+            qm2 - 4.0 * qm1 + 3.0 * q0
+        ) ** 2
+        b1 = (13.0 / 12.0) * (qm1 - 2.0 * q0 + qp1) ** 2 + 0.25 * (
+            qm1 - qp1
+        ) ** 2
+        b2 = (13.0 / 12.0) * (q0 - 2.0 * qp1 + qp2) ** 2 + 0.25 * (
+            3.0 * q0 - 4.0 * qp1 + qp2
+        ) ** 2
+
+        a0 = 0.1 / (WENO_EPS + b0) ** 2
+        a1 = 0.6 / (WENO_EPS + b1) ** 2
+        a2 = 0.3 / (WENO_EPS + b2) ** 2
+        asum = a0 + a1 + a2
+        return (a0 * p0 + a1 * p1 + a2 * p2) / asum
+
+    # Left state at face j: right edge of cell ng+j-1.
+    ql = biased(ng - 1, reverse=False)
+    # Right state at face j: left edge of cell ng+j.
+    qr = biased(ng, reverse=True)
+    return ql, qr
+
+
+def plm_states_along(q: np.ndarray, ng: int, nxa: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Minmod-limited piecewise-linear states at the interior faces."""
+    if ng < 2:
+        raise ValueError(f"PLM needs >= 2 ghost cells, got {ng}")
+    nfaces = nxa + 1
+
+    def states(c_lo: int, sign: float) -> np.ndarray:
+        center = _shift(q, c_lo, c_lo + nfaces, 0)
+        left = center - _shift(q, c_lo, c_lo + nfaces, -1)
+        right = _shift(q, c_lo, c_lo + nfaces, 1) - center
+        return center + sign * 0.5 * minmod(left, right)
+
+    ql = states(ng - 1, +1.0)
+    qr = states(ng, -1.0)
+    return ql, qr
+
+
+_SCHEMES = {"weno5": weno5_states_along, "plm": plm_states_along}
+
+
+def weno5_face_states(
+    q: np.ndarray, axis: int, ng: int, nxa: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """WENO5 states along array ``axis`` (moveaxis convenience wrapper)."""
+    return face_states(q, axis, ng, nxa, scheme="weno5")
+
+
+def plm_face_states(
+    q: np.ndarray, axis: int, ng: int, nxa: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """PLM states along array ``axis``."""
+    return face_states(q, axis, ng, nxa, scheme="plm")
+
+
+def face_states(
+    q: np.ndarray, axis: int, ng: int, nxa: int, scheme: str = "weno5"
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Reconstruct left/right states at faces along ``axis``.
+
+    Returns arrays with ``nxa + 1`` entries along ``axis`` and unchanged
+    extent elsewhere.
+    """
+    try:
+        fn = _SCHEMES[scheme]
+    except KeyError:
+        raise ValueError(
+            f"unknown reconstruction {scheme!r}; expected one of "
+            f"{sorted(_SCHEMES)}"
+        ) from None
+    moved = np.moveaxis(q, axis, -1)
+    ql, qr = fn(moved, ng, nxa)
+    return np.moveaxis(ql, -1, axis), np.moveaxis(qr, -1, axis)

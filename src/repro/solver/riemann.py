@@ -1,0 +1,67 @@
+"""Riemann solvers for the vector inviscid Burgers system.
+
+State vector layout (``ncomp = nvel + nscalar`` components):
+``U = [u_1 .. u_nvel, q_0 .. q_{nscalar-1}]``.  The flux in direction ``d``
+is ``F_i = 1/2 u_i u_d`` for velocity components and ``F_j = q_j u_d`` for
+passive scalars; the characteristic speed is the normal velocity ``u_d``.
+
+Both the HLL solver used by Parthenon-VIBE (Section II-G) and a simpler
+local Lax-Friedrichs (Rusanov) solver are provided.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def physical_flux(u: np.ndarray, direction: int, nvel: int) -> np.ndarray:
+    """Burgers flux of state ``u`` (components on axis 0) along ``direction``."""
+    un = u[direction]
+    flux = np.empty_like(u)
+    flux[:nvel] = 0.5 * u[:nvel] * un
+    flux[nvel:] = u[nvel:] * un
+    return flux
+
+
+def wave_speeds(
+    ul: np.ndarray, ur: np.ndarray, direction: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """HLL signal-speed estimates ``(s_left, s_right)`` from normal velocity."""
+    sl = np.minimum(np.minimum(ul[direction], ur[direction]), 0.0)
+    sr = np.maximum(np.maximum(ul[direction], ur[direction]), 0.0)
+    return sl, sr
+
+
+def hll_flux(
+    ul: np.ndarray, ur: np.ndarray, direction: int, nvel: int
+) -> np.ndarray:
+    """HLL numerical flux between left/right face states.
+
+    With the signal speeds clamped to bracket zero, the HLL formula reduces
+    to pure upwinding when the flow does not change sign across the face and
+    adds the dissipative jump term otherwise.
+    """
+    fl = physical_flux(ul, direction, nvel)
+    fr = physical_flux(ur, direction, nvel)
+    sl, sr = wave_speeds(ul, ur, direction)
+    width = sr - sl
+    # Where both speeds are zero the interface is quiescent: flux = 0 is
+    # consistent with both sides (avoid 0/0).
+    safe = np.where(width > 0.0, width, 1.0)
+    flux = (sr * fl - sl * fr + sl * sr * (ur - ul)) / safe
+    return np.where(width > 0.0, flux, 0.0)
+
+
+def llf_flux(
+    ul: np.ndarray, ur: np.ndarray, direction: int, nvel: int
+) -> np.ndarray:
+    """Local Lax-Friedrichs (Rusanov) flux — maximally dissipative baseline."""
+    fl = physical_flux(ul, direction, nvel)
+    fr = physical_flux(ur, direction, nvel)
+    smax = np.maximum(np.abs(ul[direction]), np.abs(ur[direction]))
+    return 0.5 * (fl + fr) - 0.5 * smax * (ur - ul)
+
+
+RIEMANN_SOLVERS = {"hll": hll_flux, "llf": llf_flux}

@@ -1,0 +1,128 @@
+"""Variable metadata and flag-based lookup, Parthenon-style.
+
+Parthenon identifies variables by name and queries them with
+``GetVariablesByFlag``, which performs string comparisons and hashing in a
+scalar loop — Section VIII-A names this one of the dominant serial costs and
+recommends replacing it with a centralized integer mapping.  Both schemes are
+implemented here:
+
+* :meth:`VariableRegistry.get_by_flag` — the faithful string-keyed path; it
+  counts every string comparison so the serial cost model can charge them.
+* :meth:`VariableRegistry.get_by_flag_indexed` — the paper's recommended
+  integer-indexed path (precomputed flag → id lists), used by the
+  optimization ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+
+class Metadata(enum.Flag):
+    """Variable metadata flags (a small subset of Parthenon's)."""
+
+    NONE = 0
+    INDEPENDENT = enum.auto()  # evolved by the integrator
+    DERIVED = enum.auto()  # computed from independents in FillDerived
+    FILL_GHOST = enum.auto()  # participates in ghost exchange
+    WITH_FLUXES = enum.auto()  # carries face fluxes / flux correction
+    REQUIRES_RESTART = enum.auto()
+
+
+@dataclass(frozen=True)
+class StateDescriptor:
+    """Declaration of one named variable."""
+
+    name: str
+    ncomp: int
+    flags: Metadata
+
+
+@dataclass
+class LookupCounters:
+    """String-handling work performed by flag queries (serial cost input)."""
+
+    queries: int = 0
+    string_comparisons: int = 0
+    string_hashes: int = 0
+
+
+class VariableRegistry:
+    """Ordered registry of variables with flag queries."""
+
+    def __init__(self, descriptors: Sequence[StateDescriptor] = ()) -> None:
+        self._by_name: Dict[str, StateDescriptor] = {}
+        self._order: List[str] = []
+        self.counters = LookupCounters()
+        self._flag_index: Dict[Metadata, List[str]] = {}
+        for d in descriptors:
+            self.add(d)
+
+    def add(self, desc: StateDescriptor) -> None:
+        if desc.name in self._by_name:
+            raise ValueError(f"variable {desc.name!r} already registered")
+        self._by_name[desc.name] = desc
+        self._order.append(desc.name)
+        self._flag_index.clear()  # indexes must be rebuilt
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def descriptor(self, name: str) -> StateDescriptor:
+        return self._by_name[name]
+
+    @property
+    def names(self) -> List[str]:
+        return list(self._order)
+
+    def total_ncomp(self, names: Sequence[str]) -> int:
+        return sum(self._by_name[n].ncomp for n in names)
+
+    # ------------------------------------------------------------- lookups
+
+    def get_by_flag(self, flags: Metadata) -> List[str]:
+        """String-indexed flag query (the faithful, costly path).
+
+        Walks every variable, hashing its name and comparing flags — a
+        scalar loop whose work is recorded in :attr:`counters` so the
+        platform model can charge it per invocation (Section VIII-A).
+        """
+        self.counters.queries += 1
+        out: List[str] = []
+        for name in self._order:
+            # Model the map lookup: one hash plus ~1 comparison per probe.
+            self.counters.string_hashes += 1
+            self.counters.string_comparisons += len(name) // 4 + 1
+            desc = self._by_name[name]
+            if desc.flags & flags:
+                out.append(name)
+        return out
+
+    def build_flag_index(self, flag_sets: Sequence[Metadata]) -> None:
+        """Precompute flag → variable lists (the paper's recommendation)."""
+        for flags in flag_sets:
+            self._flag_index[flags] = [
+                name
+                for name in self._order
+                if self._by_name[name].flags & flags
+            ]
+
+    def get_by_flag_indexed(self, flags: Metadata) -> List[str]:
+        """Integer/precomputed-indexed query: O(1), no string work."""
+        try:
+            return self._flag_index[flags]
+        except KeyError:
+            raise KeyError(
+                f"flag set {flags!r} not in the prebuilt index; call "
+                "build_flag_index first"
+            ) from None
+
+    def reset_counters(self) -> LookupCounters:
+        done = self.counters
+        self.counters = LookupCounters()
+        return done

@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def small_args(extra=()):
+    return [
+        "--mesh", "32", "--block", "8", "--levels", "2", "--ndim", "2",
+        "--scalars", "1", "--cycles", "2", "--warmup", "0",
+    ] + list(extra)
+
+
+class TestCharacterize:
+    def test_gpu_run_prints_report(self, capsys):
+        rc = main(["characterize"] + small_args(["--backend", "gpu"]))
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "FOM" in out
+        assert "Function breakdown" in out
+        assert "kokkos_mesh" in out
+
+    def test_cpu_run(self, capsys):
+        rc = main(
+            ["characterize"]
+            + small_args(["--backend", "cpu", "--ranks", "4"])
+        )
+        assert rc == 0
+        assert "CPU 4R" in capsys.readouterr().out
+
+
+class TestDeckRoundtrip:
+    def test_deck_emission_and_run(self, capsys, tmp_path):
+        rc = main(["deck"] + small_args())
+        assert rc == 0
+        deck = capsys.readouterr().out
+        assert "<parthenon/mesh>" in deck
+        path = tmp_path / "cli.vibe"
+        path.write_text(deck)
+        rc = main(["run", str(path), "--cycles", "2"])
+        assert rc == 0
+        assert "FOM" in capsys.readouterr().out
+
+
+class TestSweep:
+    def test_levels_sweep(self, capsys):
+        rc = main(["sweep", "levels"] + small_args())
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "FOM vs AMR depth" in out
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "bogus"])
+
+
+class TestRecommend:
+    def test_recommend_prints_advice(self, capsys):
+        rc = main(["recommend"] + small_args())
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Amdahl" in out
+        assert "recommendation" in out
+
+
+class TestParser:
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,43 @@
+"""Smoke tests for the example scripts.
+
+Each example must import cleanly and expose a ``main``; the quickstart runs
+end-to-end (it is small enough for the test suite).  The heavier examples
+are exercised by the benchmark suite's equivalent sweeps.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def load(name):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "quickstart",
+        "expanding_blast_3d",
+        "characterize_block_size",
+        "memory_planner",
+    ],
+)
+def test_example_imports_and_has_main(name):
+    module = load(name)
+    assert callable(module.main)
+
+
+def test_quickstart_runs_end_to_end(capsys):
+    module = load("quickstart")
+    module.main()
+    out = capsys.readouterr().out
+    assert "conservation drift" in out
+    assert "FOM" in out

@@ -1,0 +1,61 @@
+"""Tests for MassHistory-style reductions."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.mesh import Mesh, MeshGeometry
+from repro.solver.burgers import BurgersConfig, BurgersPackage, CONSERVED, DERIVED
+from repro.solver.history import reduce_history
+
+
+def make(ndim=2, num_scalars=2):
+    pkg = BurgersPackage(ndim, BurgersConfig(num_scalars=num_scalars, reconstruction="plm"))
+    geo = MeshGeometry(
+        ndim=ndim,
+        mesh_size=tuple(16 if a < ndim else 1 for a in range(3)),
+        block_size=tuple(8 if a < ndim else 1 for a in range(3)),
+        ng=2,
+        num_levels=1,
+    )
+    mesh = Mesh(geo, field_specs=pkg.field_specs())
+    return mesh, pkg
+
+
+class TestReduceHistory:
+    def test_uniform_scalar_total(self):
+        mesh, pkg = make()
+        for blk in mesh.block_list:
+            blk.fields[CONSERVED][...] = 0.0
+            blk.fields[CONSERVED][pkg.nvel] = 3.0  # q0
+        row = reduce_history(mesh, pkg, cycle=5, time=0.25)
+        # Domain volume is 1, so total q0 = 3.0.
+        assert row.scalar_totals[0] == pytest.approx(3.0)
+        assert row.scalar_totals[1] == pytest.approx(0.0)
+        assert row.cycle == 5 and row.time == 0.25
+
+    def test_momentum_and_max_speed(self):
+        mesh, pkg = make()
+        for blk in mesh.block_list:
+            blk.fields[CONSERVED][0] = -0.5
+            blk.fields[CONSERVED][1] = 0.25
+        row = reduce_history(mesh, pkg, 0, 0.0)
+        assert row.momentum_totals[0] == pytest.approx(-0.5)
+        assert row.momentum_totals[1] == pytest.approx(0.25)
+        assert row.max_speed == pytest.approx(0.5)
+
+    def test_total_d_uses_derived_field(self):
+        mesh, pkg = make()
+        for blk in mesh.block_list:
+            blk.fields[DERIVED][...] = 2.0
+        row = reduce_history(mesh, pkg, 0, 0.0)
+        assert row.total_d == pytest.approx(2.0)
+
+    def test_volume_weighting_across_levels(self):
+        mesh, pkg = make()
+        mesh.remesh(refine=[mesh.block_list[0].lloc], derefine=[])
+        for blk in mesh.block_list:
+            blk.fields[CONSERVED][...] = 0.0
+            blk.fields[CONSERVED][pkg.nvel] = 1.0
+        row = reduce_history(mesh, pkg, 0, 0.0)
+        # Uniform q0=1 integrates to the domain volume regardless of levels.
+        assert row.scalar_totals[0] == pytest.approx(1.0)

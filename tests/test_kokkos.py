@@ -1,0 +1,213 @@
+"""Tests for the Kokkos-style instrumentation layer."""
+
+import pytest
+
+from repro.kokkos.kernel import (
+    KERNEL_PROFILES,
+    KernelLaunch,
+    REFERENCE_NCOMP,
+    make_launch,
+)
+from repro.kokkos.memory import (
+    KOKKOS_MESH,
+    MPI_BUFFERS,
+    MemoryTracker,
+    OutOfMemoryError,
+)
+from repro.kokkos.profiler import Profiler
+from repro.kokkos.space import ExecutionSpace
+
+
+class TestSpaces:
+    def test_device_detection(self):
+        assert ExecutionSpace.CUDA.is_device
+        assert not ExecutionSpace.HOST_OPENMP.is_device
+
+
+class TestKernelProfiles:
+    def test_table3_kernels_registered(self):
+        expected = {
+            "CalculateFluxes",
+            "FirstDerivative",
+            "MassHistory",
+            "WeightedSumData",
+            "SendBoundBufs",
+            "SetBounds",
+            "FluxDivergence",
+            "EstimateTimestepMesh",
+            "ProlongationRestrictionLoop",
+            "CalculateDerived",
+        }
+        assert expected <= set(KERNEL_PROFILES)
+
+    def test_calculate_fluxes_matches_paper_character(self):
+        p = KERNEL_PROFILES["CalculateFluxes"]
+        assert p.registers_per_thread > 100  # the >100-register finding
+        assert p.effective_warps_per_block == 1  # 1 of 4 warps useful
+        assert p.line_kernel
+        assert 3.0 < p.arithmetic_intensity < 5.0  # Table III: 4.3/3.4
+
+    def test_copy_kernels_have_sub_one_intensity(self):
+        for name in ("SendBoundBufs", "SetBounds", "WeightedSumData"):
+            assert KERNEL_PROFILES[name].arithmetic_intensity < 1.0
+
+    def test_make_launch_scales_with_ncomp(self):
+        a = make_launch(
+            "CalculateFluxes", ExecutionSpace.CUDA, cells=1000, block_nx=16,
+            ncomp=REFERENCE_NCOMP,
+        )
+        b = make_launch(
+            "CalculateFluxes", ExecutionSpace.CUDA, cells=1000, block_nx=16,
+            ncomp=REFERENCE_NCOMP * 2,
+        )
+        assert b.flops == pytest.approx(2 * a.flops)
+        assert b.bytes == pytest.approx(2 * a.bytes)
+
+    def test_launch_profile_lookup(self):
+        launch = make_launch(
+            "SetBounds", ExecutionSpace.CUDA, cells=10, block_nx=8
+        )
+        assert launch.profile.name == "SetBounds"
+        bad = KernelLaunch(
+            "NoSuchKernel", ExecutionSpace.CUDA, cells=1, flops=1, bytes=1
+        )
+        with pytest.raises(KeyError):
+            bad.profile
+
+    def test_default_lines_from_cells(self):
+        launch = make_launch(
+            "CalculateFluxes", ExecutionSpace.CUDA, cells=4096, block_nx=16
+        )
+        assert launch.lines == 256
+
+
+class TestProfiler:
+    def test_attribution_to_innermost_region(self):
+        prof = Profiler()
+        with prof.region("Step"):
+            with prof.region("CalculateFluxes"):
+                prof.add_serial(1.0)
+                prof.add_kernel("CalculateFluxes", 2.0)
+            prof.add_serial(0.5)
+        assert prof.regions["CalculateFluxes"].serial == 1.0
+        assert prof.regions["CalculateFluxes"].kernel == 2.0
+        assert prof.regions["Step"].serial == 0.5
+
+    def test_toplevel_fallback(self):
+        prof = Profiler()
+        prof.add_serial(0.25)
+        assert prof.regions[Profiler.TOPLEVEL].serial == 0.25
+
+    def test_totals_and_fraction(self):
+        prof = Profiler()
+        with prof.region("A"):
+            prof.add_serial(3.0)
+            prof.add_kernel("K", 1.0)
+        assert prof.total_seconds == 4.0
+        assert prof.kernel_fraction() == 0.25
+
+    def test_negative_time_rejected(self):
+        prof = Profiler()
+        with pytest.raises(ValueError):
+            prof.add_serial(-1.0)
+        with pytest.raises(ValueError):
+            prof.add_kernel("K", -1.0)
+
+    def test_top_kernels_ranked(self):
+        prof = Profiler()
+        prof.add_kernel("A", 1.0)
+        prof.add_kernel("B", 5.0)
+        prof.add_kernel("C", 2.0)
+        assert [k for k, _ in prof.top_kernels(2)] == ["B", "C"]
+
+    def test_function_breakdown_sorted(self):
+        prof = Profiler()
+        with prof.region("small"):
+            prof.add_serial(1.0)
+        with prof.region("big"):
+            prof.add_serial(9.0)
+        assert list(prof.function_breakdown()) == ["big", "small"]
+
+    def test_event_timeline_recorded(self):
+        prof = Profiler()
+        with prof.region("A"):
+            prof.add_serial(1.0)
+            prof.add_kernel("K", 2.0)
+        assert len(prof.events) == 2
+        (r0, c0, k0, s0, d0, _), (r1, c1, k1, s1, d1, _) = prof.events
+        assert (r0, c0, k0, s0, d0) == ("A", "serial", None, 0.0, 1.0)
+        assert (r1, c1, k1, s1, d1) == ("A", "kernel", "K", 1.0, 2.0)
+
+    def test_chrome_trace_export(self):
+        import json
+
+        prof = Profiler()
+        with prof.region("Step"):
+            prof.add_kernel("CalculateFluxes", 0.5)
+            prof.add_serial(0.25)
+        trace = prof.to_chrome_trace()
+        text = json.dumps(trace)  # must be JSON-serializable
+        assert "CalculateFluxes" in text
+        events = trace["traceEvents"]
+        assert events[0]["ph"] == "X"
+        assert events[0]["tid"] == 2  # kernel lane
+        assert events[1]["tid"] == 1  # serial lane
+        assert events[1]["ts"] == pytest.approx(0.5e6)
+
+    def test_merge(self):
+        a, b = Profiler(), Profiler()
+        with a.region("X"):
+            a.add_kernel("K", 1.0)
+        with b.region("X"):
+            b.add_kernel("K", 2.0)
+            b.add_serial(1.0)
+        b.end_cycle()
+        a.merge(b)
+        assert a.regions["X"].kernel == 3.0
+        assert a.kernel_launches["K"] == 2
+        assert a.cycles == 1
+
+
+class TestMemoryTracker:
+    def test_allocate_free_roundtrip(self):
+        t = MemoryTracker()
+        t.allocate(KOKKOS_MESH, 100, rank=0)
+        t.allocate(KOKKOS_MESH, 50, rank=1)
+        assert t.current(KOKKOS_MESH) == 150
+        t.free(KOKKOS_MESH, 40, rank=0)
+        assert t.current(KOKKOS_MESH, rank=0) == 60
+
+    def test_high_water_persists(self):
+        t = MemoryTracker()
+        t.allocate(MPI_BUFFERS, 100)
+        t.free(MPI_BUFFERS, 100)
+        assert t.current(MPI_BUFFERS) == 0
+        assert t.high_water(MPI_BUFFERS) == 100
+
+    def test_over_free_rejected(self):
+        t = MemoryTracker()
+        t.allocate(KOKKOS_MESH, 10)
+        with pytest.raises(ValueError):
+            t.free(KOKKOS_MESH, 20)
+
+    def test_set_level(self):
+        t = MemoryTracker()
+        t.set_level(MPI_BUFFERS, 500, rank=2)
+        t.set_level(MPI_BUFFERS, 300, rank=2)
+        assert t.current(MPI_BUFFERS) == 300
+        assert t.high_water(MPI_BUFFERS) == 500
+
+    def test_breakdown(self):
+        t = MemoryTracker()
+        t.allocate(KOKKOS_MESH, 100, rank=0)
+        t.allocate(KOKKOS_MESH, 100, rank=1)
+        t.allocate(MPI_BUFFERS, 50, rank=0)
+        assert t.breakdown() == {KOKKOS_MESH: 200, MPI_BUFFERS: 50}
+
+    def test_oom_check(self):
+        t = MemoryTracker(device_capacity_bytes=1000)
+        t.allocate(KOKKOS_MESH, 900)
+        t.check_capacity()
+        t.allocate(MPI_BUFFERS, 200)
+        with pytest.raises(OutOfMemoryError, match="device memory exhausted"):
+            t.check_capacity()

@@ -1,0 +1,117 @@
+"""Tests for LogicalLocation arithmetic and Morton ordering."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mesh.logical_location import LogicalLocation, _interleave_bits
+
+
+class TestParentChild:
+    def test_parent_halves_coordinates(self):
+        loc = LogicalLocation(2, 5, 3, 7)
+        assert loc.parent() == LogicalLocation(1, 2, 1, 3)
+
+    def test_base_block_has_no_parent(self):
+        with pytest.raises(ValueError):
+            LogicalLocation(0, 0, 0, 0).parent()
+
+    @pytest.mark.parametrize("ndim,expected", [(1, 2), (2, 4), (3, 8)])
+    def test_children_count(self, ndim, expected):
+        loc = LogicalLocation(1, 1, 0 if ndim < 2 else 1, 0 if ndim < 3 else 1)
+        kids = list(loc.children(ndim))
+        assert len(kids) == expected
+        assert len(set(kids)) == expected
+
+    def test_children_are_at_next_level(self):
+        loc = LogicalLocation(0, 3, 2, 1)
+        for child in loc.children(3):
+            assert child.level == 1
+            assert child.parent() == loc
+
+    def test_child_index_roundtrip(self):
+        loc = LogicalLocation(1, 2, 3, 0)
+        for child in loc.children(2):
+            idx = child.child_index(2)
+            assert child == LogicalLocation(
+                2, 2 * loc.lx1 + idx[0], 2 * loc.lx2 + idx[1], 0
+            )
+
+    def test_child_index_inactive_dims_zero(self):
+        loc = LogicalLocation(1, 3, 0, 0)
+        assert loc.child_index(1) == (1, 0, 0)
+
+
+class TestAncestry:
+    def test_is_ancestor_of_direct_child(self):
+        parent = LogicalLocation(0, 1, 1, 0)
+        for child in parent.children(2):
+            assert parent.is_ancestor_of(child)
+            assert not child.is_ancestor_of(parent)
+
+    def test_is_ancestor_of_grandchild(self):
+        root = LogicalLocation(0, 0, 0, 0)
+        grandchild = LogicalLocation(2, 3, 1, 0)
+        assert root.is_ancestor_of(grandchild)
+
+    def test_not_ancestor_of_self(self):
+        loc = LogicalLocation(1, 1, 0, 0)
+        assert not loc.is_ancestor_of(loc)
+        assert loc.contains(loc)
+
+    def test_sibling_is_not_ancestor(self):
+        a = LogicalLocation(1, 0, 0, 0)
+        b = LogicalLocation(1, 1, 0, 0)
+        assert not a.is_ancestor_of(b)
+        assert not a.contains(b)
+
+
+class TestMorton:
+    def test_interleave_simple(self):
+        # x=1, y=0, z=0 -> bit 0 set; x=0, y=1 -> bit 1 set.
+        assert _interleave_bits((1, 0, 0), 1) == 1
+        assert _interleave_bits((0, 1, 0), 1) == 2
+        assert _interleave_bits((0, 0, 1), 1) == 4
+
+    def test_descendants_form_contiguous_key_range(self):
+        parent = LogicalLocation(1, 1, 0, 0)
+        other = LogicalLocation(1, 0, 1, 0)
+        max_level = 3
+        parent_kids = [
+            c.morton_key(max_level)
+            for child in parent.children(2)
+            for c in child.children(2)
+        ]
+        outside = other.morton_key(max_level)
+        lo, hi = min(parent_kids), max(parent_kids)
+        assert not (lo <= outside <= hi)
+
+    def test_morton_rejects_too_shallow_max_level(self):
+        with pytest.raises(ValueError):
+            LogicalLocation(3, 1, 1, 1).morton_key(2)
+
+    @given(
+        st.integers(0, 3),
+        st.integers(0, 7),
+        st.integers(0, 7),
+        st.integers(0, 7),
+    )
+    def test_parent_sorts_before_descendants(self, level, i, j, k):
+        loc = LogicalLocation(level, i, j, k)
+        child = next(iter(loc.children(3)))
+        assert loc.morton_key(level + 2) < child.morton_key(level + 2)
+
+    @given(st.integers(0, 31), st.integers(0, 31))
+    def test_keys_distinct_for_distinct_coords(self, i, j):
+        a = LogicalLocation(2, i % 4, j % 4, 0)
+        b = LogicalLocation(2, j % 4, i % 4, 0)
+        if a != b:
+            assert a.morton_key(4) != b.morton_key(4)
+
+
+class TestOffset:
+    def test_offset_moves_coordinates(self):
+        loc = LogicalLocation(2, 4, 5, 6)
+        assert loc.offset(1, -1, 0) == LogicalLocation(2, 5, 4, 6)
+
+    def test_offset_preserves_level(self):
+        assert LogicalLocation(3, 0, 0, 0).offset(2).level == 3

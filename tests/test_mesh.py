@@ -1,0 +1,173 @@
+"""Tests for Mesh construction, validation, and remeshing."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.block import FieldSpec
+from repro.mesh.logical_location import LogicalLocation
+from repro.mesh.mesh import Mesh, MeshGeometry
+
+
+def make_geometry(ndim=2, mesh=32, block=8, ng=2, levels=3):
+    return MeshGeometry(
+        ndim=ndim,
+        mesh_size=tuple(mesh if a < ndim else 1 for a in range(3)),
+        block_size=tuple(block if a < ndim else 1 for a in range(3)),
+        ng=ng,
+        num_levels=levels,
+    )
+
+
+def make_mesh(ndim=2, mesh=32, block=8, ng=2, levels=3, allocate=True):
+    return Mesh(
+        make_geometry(ndim, mesh, block, ng, levels),
+        field_specs=[FieldSpec("u", 2)],
+        allocate=allocate,
+    )
+
+
+class TestGeometry:
+    def test_nroot(self):
+        geo = make_geometry(mesh=32, block=8)
+        assert geo.nroot == (4, 4, 1)
+
+    def test_rejects_non_multiple(self):
+        with pytest.raises(ValueError, match="multiple"):
+            make_geometry(mesh=30, block=8)
+
+    def test_rejects_odd_block_with_amr(self):
+        with pytest.raises(ValueError, match="multiple of 4"):
+            MeshGeometry(
+                ndim=1, mesh_size=(35, 1, 1), block_size=(7, 1, 1),
+                ng=2, num_levels=2,
+            )
+
+    def test_rejects_odd_ghost_depth_with_amr(self):
+        with pytest.raises(ValueError, match="ghost depth"):
+            MeshGeometry(
+                ndim=1, mesh_size=(32, 1, 1), block_size=(8, 1, 1),
+                ng=3, num_levels=2,
+            )
+
+    def test_rejects_small_block_for_amr_ghosts(self):
+        # block 4 with ng=4 cannot fill a coarse neighbor's ghosts.
+        with pytest.raises(ValueError, match="2\\*ng"):
+            make_geometry(mesh=32, block=4, ng=4)
+
+    def test_block_bounds_level0(self):
+        geo = make_geometry(mesh=32, block=8)
+        bounds = geo.block_bounds(LogicalLocation(0, 1, 2, 0))
+        assert bounds[0] == (0.25, 0.5)
+        assert bounds[1] == (0.5, 0.75)
+
+    def test_block_bounds_refined(self):
+        geo = make_geometry()
+        bounds = geo.block_bounds(LogicalLocation(1, 1, 0, 0))
+        assert bounds[0] == (0.125, 0.25)
+
+    def test_finest_dx(self):
+        geo = make_geometry(mesh=32, levels=3)
+        assert geo.finest_dx(0) == pytest.approx(1.0 / 128)
+
+    def test_unused_dims_must_be_unit(self):
+        with pytest.raises(ValueError):
+            MeshGeometry(ndim=1, mesh_size=(8, 2, 1), block_size=(8, 1, 1))
+
+
+class TestMeshConstruction:
+    def test_initial_block_count(self):
+        mesh = make_mesh(mesh=32, block=8)
+        assert mesh.num_blocks == 16
+
+    def test_gids_are_dense_and_morton_ordered(self):
+        mesh = make_mesh()
+        gids = [b.gid for b in mesh.block_list]
+        assert gids == list(range(mesh.num_blocks))
+        keys = [
+            b.lloc.morton_key(mesh.tree.finest_level_present())
+            for b in mesh.block_list
+        ]
+        assert keys == sorted(keys)
+
+    def test_total_interior_cells(self):
+        mesh = make_mesh(mesh=32, block=8)
+        assert mesh.total_interior_cells() == 32 * 32
+
+    def test_unallocated_mesh_has_no_arrays(self):
+        mesh = make_mesh(allocate=False)
+        assert all(b.fields == {} for b in mesh.block_list)
+
+
+class TestRemesh:
+    def test_refine_increases_blocks(self):
+        mesh = make_mesh()
+        loc = mesh.block_list[0].lloc
+        stats = mesh.remesh(refine=[loc], derefine=[])
+        assert stats.refined_parents == 1
+        assert stats.created == 4
+        assert mesh.num_blocks == 16 + 3
+        mesh.tree.check_valid()
+
+    def test_refine_conserves_field_total(self):
+        mesh = make_mesh()
+        rng = np.random.default_rng(3)
+        total = 0.0
+        for blk in mesh.block_list:
+            blk.interior("u")[...] = rng.normal(size=blk.interior("u").shape)
+            total += blk.interior("u").sum() * blk.cell_volume
+        loc = mesh.block_list[5].lloc
+        mesh.remesh(refine=[loc], derefine=[])
+        after = sum(
+            b.interior("u").sum() * b.cell_volume for b in mesh.block_list
+        )
+        assert after == pytest.approx(total)
+
+    def test_derefine_conserves_field_total(self):
+        mesh = make_mesh()
+        loc = mesh.block_list[5].lloc
+        mesh.remesh(refine=[loc], derefine=[])
+        rng = np.random.default_rng(4)
+        for blk in mesh.block_list:
+            blk.interior("u")[...] = rng.normal(size=blk.interior("u").shape)
+        total = sum(
+            b.interior("u").sum() * b.cell_volume for b in mesh.block_list
+        )
+        children = list(loc.children(2))
+        mesh.remesh(refine=[], derefine=children)
+        assert mesh.num_blocks == 16
+        after = sum(
+            b.interior("u").sum() * b.cell_volume for b in mesh.block_list
+        )
+        assert after == pytest.approx(total)
+
+    def test_refine_linear_field_is_exact(self):
+        mesh = make_mesh()
+        for blk in mesh.block_list:
+            x = blk.cell_centers(0)
+            y = blk.cell_centers(1)
+            blk.fields["u"][...] = (
+                2.0 * x[None, None, None, :] + 3.0 * y[None, None, :, None]
+            )
+        loc = mesh.block_list[5].lloc
+        mesh.remesh(refine=[loc], derefine=[])
+        for child_loc in loc.children(2):
+            blk = mesh.block_at(child_loc)
+            x = blk.cell_centers(0, include_ghosts=False)
+            y = blk.cell_centers(1, include_ghosts=False)
+            expected = 2.0 * x[None, None, None, :] + 3.0 * y[None, None, :, None]
+            assert np.allclose(blk.interior("u"), expected)
+
+    def test_remesh_in_model_mode_touches_no_arrays(self):
+        mesh = make_mesh(allocate=False)
+        loc = mesh.block_list[0].lloc
+        stats = mesh.remesh(refine=[loc], derefine=[])
+        assert stats.created == 4
+        assert mesh.num_blocks == 19
+
+    def test_uids_are_stable_across_renumbering(self):
+        mesh = make_mesh()
+        uid_before = mesh.block_list[10].uid
+        lloc_before = mesh.block_list[10].lloc
+        mesh.remesh(refine=[mesh.block_list[0].lloc], derefine=[])
+        blk = mesh.block_at(lloc_before)
+        assert blk.uid == uid_before

@@ -1,0 +1,93 @@
+"""Tests for the simulated MPI layer."""
+
+import pytest
+
+from repro.comm.mpi import MPICounters, SimMPI
+
+
+class TestConstruction:
+    def test_rejects_bad_ranks(self):
+        with pytest.raises(ValueError):
+            SimMPI(0)
+
+    def test_rejects_more_nodes_than_ranks(self):
+        with pytest.raises(ValueError):
+            SimMPI(2, nnodes=3)
+
+
+class TestNodeMapping:
+    def test_single_node(self):
+        mpi = SimMPI(8)
+        assert all(mpi.node_of(r) == 0 for r in range(8))
+
+    def test_two_nodes_contiguous(self):
+        mpi = SimMPI(8, nnodes=2)
+        assert [mpi.node_of(r) for r in range(8)] == [0] * 4 + [1] * 4
+
+    def test_uneven_split(self):
+        mpi = SimMPI(5, nnodes=2)
+        nodes = [mpi.node_of(r) for r in range(5)]
+        assert nodes == [0, 0, 0, 1, 1]
+
+
+class TestTraffic:
+    def test_local_vs_remote(self):
+        mpi = SimMPI(2)
+        mpi.send(0, 0, 100)
+        mpi.send(0, 1, 200)
+        assert mpi.cycle.local_copies == 1
+        assert mpi.cycle.remote_messages == 1
+        assert mpi.cycle.remote_bytes == 200
+
+    def test_internode_accounting(self):
+        mpi = SimMPI(4, nnodes=2)
+        mpi.send(0, 1, 10)  # same node
+        mpi.send(0, 2, 20)  # cross node
+        assert mpi.internode_messages == 1
+        assert mpi.internode_bytes == 20
+
+    def test_collectives(self):
+        mpi = SimMPI(4)
+        mpi.allgather(bytes_per_rank=8)
+        mpi.allreduce()
+        assert mpi.cycle.allgather_bytes == 32
+        assert mpi.cycle.allreduce_calls == 1
+
+    def test_end_cycle_rolls_into_total(self):
+        mpi = SimMPI(2)
+        mpi.send(0, 1, 50)
+        done = mpi.end_cycle()
+        assert done.remote_bytes == 50
+        assert mpi.total.remote_bytes == 50
+        assert mpi.cycle.remote_bytes == 0
+
+    def test_counters_merge(self):
+        a = MPICounters(remote_messages=1, remote_bytes=10)
+        b = MPICounters(remote_messages=2, remote_bytes=5, iprobe_calls=3)
+        a.merge(b)
+        assert a.remote_messages == 3
+        assert a.remote_bytes == 15
+        assert a.iprobe_calls == 3
+
+
+class TestBufferRegistry:
+    def test_register_and_release(self):
+        mpi = SimMPI(2)
+        mpi.register_buffers(0, 1000)
+        mpi.register_buffers(1, 500)
+        assert mpi.total_registered_bytes() == 1500
+        mpi.release_buffers(0, 400)
+        assert mpi.registered_buffer_bytes(0) == 600
+
+    def test_release_floors_at_zero(self):
+        mpi = SimMPI(1)
+        mpi.register_buffers(0, 10)
+        mpi.release_buffers(0, 100)
+        assert mpi.registered_buffer_bytes(0) == 0
+
+    def test_set_registered_replaces(self):
+        mpi = SimMPI(3)
+        mpi.register_buffers(0, 99)
+        mpi.set_registered_buffer_bytes({1: 10, 2: 20})
+        assert mpi.registered_buffer_bytes(0) == 0
+        assert mpi.total_registered_bytes() == 30

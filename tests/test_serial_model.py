@@ -1,0 +1,136 @@
+"""Tests for the host serial cost model and MPI driver memory model."""
+
+import pytest
+
+from repro.comm.buffers import CacheStats
+from repro.comm.bvals import ExchangeStats, RebuildStats
+from repro.hardware.calibration import DEFAULT_CALIBRATION
+from repro.hardware.serial import SerialCostModel, mpi_driver_memory_bytes
+from repro.mesh.mesh import RemeshStats
+from repro.solver.state import LookupCounters
+
+
+@pytest.fixture
+def model():
+    return SerialCostModel()
+
+
+class TestCommunicationCosts:
+    def test_send_setup_scales_with_buffers(self, model):
+        a = ExchangeStats(buffers_packed=100, messages_remote=10)
+        b = ExchangeStats(buffers_packed=200, messages_remote=20)
+        assert model.send_setup(b) == pytest.approx(2 * model.send_setup(a))
+
+    def test_remote_messages_cost_extra(self, model):
+        local = ExchangeStats(buffers_packed=100, messages_remote=0)
+        remote = ExchangeStats(buffers_packed=100, messages_remote=100)
+        assert model.send_setup(remote) > model.send_setup(local)
+
+    def test_buffer_cache_init_superlinear(self, model):
+        # n log n sorting: doubling buffers more than doubles the cost.
+        t1 = model.buffer_cache_init(1000)
+        t2 = model.buffer_cache_init(2000)
+        assert t2 > 2 * t1
+        assert model.buffer_cache_init(0) == 0.0
+
+    def test_polling_cost(self, model):
+        assert model.receive_polling(100, 100) > 0.0
+        assert model.receive_polling(0, 0) == 0.0
+
+
+class TestRemeshCosts:
+    def test_rebuild_buffer_cache(self, model):
+        stats = RebuildStats(
+            nblocks=10,
+            nbuffers=260,
+            cache=CacheStats(views_rebuilt=260, h2d_copies=260),
+        )
+        expected = 260 * (
+            DEFAULT_CALIBRATION.serial.per_buffer_views_rebuild_s
+            + DEFAULT_CALIBRATION.serial.per_buffer_h2d_s
+        )
+        assert model.rebuild_buffer_cache(stats) == pytest.approx(expected)
+
+    def test_remesh_allocation_charges_creation_and_data(self, model):
+        none = model.remesh_allocation(RemeshStats(), bytes_per_block=10**6)
+        some = model.remesh_allocation(
+            RemeshStats(created=8, destroyed=2), bytes_per_block=10**6
+        )
+        assert none == 0.0
+        assert some > 0.0
+
+    def test_redistribution_cost(self, model):
+        t = model.redistribution(moved_blocks=10, bytes_per_block=10**6)
+        assert t > 10 * DEFAULT_CALIBRATION.serial.per_block_move_s
+
+
+class TestTreeAndTagging:
+    def test_tree_update_undividable_floor(self, model):
+        # The per-block tree processing is charged on total blocks.
+        assert model.tree_update(8000, 0) == pytest.approx(
+            8000 * DEFAULT_CALIBRATION.serial.per_block_tree_update_s
+        )
+
+    def test_tagging_scales_with_blocks(self, model):
+        assert model.refinement_tagging(100) == pytest.approx(
+            100 * DEFAULT_CALIBRATION.serial.per_block_tag_s
+        )
+
+    def test_variable_lookup_charges_string_work(self, model):
+        counters = LookupCounters(
+            queries=10, string_comparisons=50, string_hashes=30
+        )
+        assert model.variable_lookup(counters) > 0.0
+        assert model.variable_lookup(LookupCounters()) == 0.0
+
+
+class TestCollectives:
+    def test_collective_grows_with_ranks(self, model):
+        assert model.collective(48, 1024) > model.collective(4, 1024)
+
+    def test_internode_costs_more(self, model):
+        assert model.collective(8, 1024, internode=True) > model.collective(
+            8, 1024
+        )
+
+    def test_gpu_contention_linear_in_ranks(self, model):
+        c6 = model.gpu_rank_contention(8000, 6)
+        c12 = model.gpu_rank_contention(8000, 12)
+        assert c12 == pytest.approx(2 * c6)
+
+    def test_gpu_optimum_near_twelve_ranks(self, model):
+        """Fig. 8's shape: divisible serial / R + contention * R has its
+        minimum near R = 12 for the mesh 128 / block 8 / 3 level workload."""
+        nblocks = 8000
+        divisible = 6.0  # seconds/cycle of divisible serial at 1 rank
+        costs = {
+            r: divisible / r + model.gpu_rank_contention(nblocks, r)
+            for r in (1, 2, 4, 6, 8, 12, 16, 24, 32, 48)
+        }
+        best = min(costs, key=costs.get)
+        assert 8 <= best <= 16
+
+    def test_cpu_contention_much_milder(self, model):
+        gpu = model.gpu_rank_contention(8000, 96)
+        cpu = model.cpu_rank_contention(8000, 96)
+        assert cpu < gpu / 10
+
+
+class TestMPIDriverMemory:
+    def test_base_per_rank(self):
+        one = mpi_driver_memory_bytes(1, 0, 0)
+        twelve = mpi_driver_memory_bytes(12, 0, 0)
+        assert twelve == 12 * one
+
+    def test_peers_and_leak_grow_usage(self):
+        base = mpi_driver_memory_bytes(4, 0, 0)
+        with_peers = mpi_driver_memory_bytes(4, 3, 0)
+        with_leak = mpi_driver_memory_bytes(4, 3, 100)
+        assert with_peers > base
+        assert with_leak > with_peers
+
+    def test_twelve_rank_scale_matches_fig10_regime(self):
+        """At 12 ranks the driver + buffer overhead must be tens of GB —
+        the regime where Fig. 10 hits the 80 GB HBM wall."""
+        nbytes = mpi_driver_memory_bytes(12, 11, 100)
+        assert 10 * 2**30 < nbytes < 60 * 2**30

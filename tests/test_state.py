@@ -1,0 +1,94 @@
+"""Tests for variable metadata and flag-based lookup."""
+
+import pytest
+
+from repro.solver.state import (
+    Metadata,
+    StateDescriptor,
+    VariableRegistry,
+)
+
+
+def make_registry():
+    return VariableRegistry(
+        [
+            StateDescriptor(
+                "cons", 4, Metadata.INDEPENDENT | Metadata.FILL_GHOST
+            ),
+            StateDescriptor("derived", 1, Metadata.DERIVED),
+            StateDescriptor("base", 4, Metadata.REQUIRES_RESTART),
+        ]
+    )
+
+
+class TestRegistry:
+    def test_ordering_preserved(self):
+        reg = make_registry()
+        assert reg.names == ["cons", "derived", "base"]
+
+    def test_duplicate_rejected(self):
+        reg = make_registry()
+        with pytest.raises(ValueError):
+            reg.add(StateDescriptor("cons", 1, Metadata.NONE))
+
+    def test_contains_and_len(self):
+        reg = make_registry()
+        assert "cons" in reg and "missing" not in reg
+        assert len(reg) == 3
+
+    def test_total_ncomp(self):
+        reg = make_registry()
+        assert reg.total_ncomp(["cons", "base"]) == 8
+
+
+class TestStringLookup:
+    def test_flag_query_results(self):
+        reg = make_registry()
+        assert reg.get_by_flag(Metadata.INDEPENDENT) == ["cons"]
+        assert reg.get_by_flag(Metadata.DERIVED) == ["derived"]
+        assert reg.get_by_flag(Metadata.FILL_GHOST) == ["cons"]
+
+    def test_string_work_counted(self):
+        reg = make_registry()
+        reg.get_by_flag(Metadata.INDEPENDENT)
+        reg.get_by_flag(Metadata.DERIVED)
+        c = reg.counters
+        assert c.queries == 2
+        assert c.string_hashes == 6  # 3 variables x 2 queries
+        assert c.string_comparisons > 0
+
+    def test_reset_counters(self):
+        reg = make_registry()
+        reg.get_by_flag(Metadata.DERIVED)
+        done = reg.reset_counters()
+        assert done.queries == 1
+        assert reg.counters.queries == 0
+
+
+class TestIndexedLookup:
+    def test_indexed_matches_string_path(self):
+        reg = make_registry()
+        reg.build_flag_index([Metadata.INDEPENDENT, Metadata.DERIVED])
+        assert reg.get_by_flag_indexed(Metadata.INDEPENDENT) == reg.get_by_flag(
+            Metadata.INDEPENDENT
+        )
+
+    def test_indexed_does_no_string_work(self):
+        reg = make_registry()
+        reg.build_flag_index([Metadata.INDEPENDENT])
+        reg.reset_counters()
+        reg.get_by_flag_indexed(Metadata.INDEPENDENT)
+        assert reg.counters.queries == 0
+        assert reg.counters.string_hashes == 0
+
+    def test_missing_index_raises(self):
+        reg = make_registry()
+        with pytest.raises(KeyError, match="not in the prebuilt index"):
+            reg.get_by_flag_indexed(Metadata.DERIVED)
+
+    def test_adding_variable_invalidates_index(self):
+        reg = make_registry()
+        reg.build_flag_index([Metadata.DERIVED])
+        reg.add(StateDescriptor("extra", 1, Metadata.DERIVED))
+        with pytest.raises(KeyError):
+            reg.get_by_flag_indexed(Metadata.DERIVED)

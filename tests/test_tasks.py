@@ -1,0 +1,114 @@
+"""Tests for the hierarchical task-list execution model."""
+
+import pytest
+
+from repro.driver.tasks import (
+    NONE_ID,
+    Task,
+    TaskID,
+    TaskList,
+    TaskListError,
+    TaskRegion,
+    TaskStatus,
+    single_task_region,
+)
+
+
+def done(log, tag):
+    def fn():
+        log.append(tag)
+        return TaskStatus.COMPLETE
+
+    return fn
+
+
+class TestTaskList:
+    def test_ids_are_sequential(self):
+        tl = TaskList("a")
+        t0 = tl.add_task(lambda: TaskStatus.COMPLETE)
+        t1 = tl.add_task(lambda: TaskStatus.COMPLETE)
+        assert (t0.index, t1.index) == (0, 1)
+        assert t0.list_id == t1.list_id
+
+    def test_dependency_forms(self):
+        tl = TaskList()
+        a = tl.add_task(lambda: TaskStatus.COMPLETE)
+        b = tl.add_task(lambda: TaskStatus.COMPLETE)
+        c = tl.add_task(lambda: TaskStatus.COMPLETE, dependency=a & b)
+        assert tl.tasks[c.index].dependencies == {a, b}
+        d = tl.add_task(lambda: TaskStatus.COMPLETE, dependency=NONE_ID)
+        assert tl.tasks[d.index].dependencies == set()
+
+
+class TestExecution:
+    def test_dependencies_order_execution(self):
+        log = []
+        tl = TaskList()
+        a = tl.add_task(done(log, "a"))
+        b = tl.add_task(done(log, "b"), dependency=a)
+        tl.add_task(done(log, "c"), dependency=a & b)
+        stats = TaskRegion([tl]).execute()
+        assert log == ["a", "b", "c"]
+        assert stats.tasks_completed == 3
+
+    def test_incomplete_tasks_are_retried(self):
+        attempts = {"n": 0}
+
+        def flaky():
+            attempts["n"] += 1
+            return (
+                TaskStatus.COMPLETE
+                if attempts["n"] >= 3
+                else TaskStatus.INCOMPLETE
+            )
+
+        tl = TaskList()
+        tl.add_task(flaky, label="recv-wait")
+        stats = TaskRegion([tl]).execute()
+        assert attempts["n"] == 3
+        assert stats.tasks_retried == 2
+
+    def test_interleaving_across_lists(self):
+        """A task in list B depending on a task in list A still runs —
+        the region interleaves lists like Parthenon's per-block lists."""
+        log = []
+        la, lb = TaskList("A"), TaskList("B")
+        a = la.add_task(done(log, "a"))
+        lb.add_task(done(log, "b"), dependency=a)
+        TaskRegion([la, lb]).execute()
+        assert log == ["a", "b"]
+
+    def test_cycle_detected(self):
+        tl = TaskList()
+        ghost = TaskID(index=1, list_id=tl.list_id)
+        tl.add_task(lambda: TaskStatus.COMPLETE, dependency=ghost)
+        tl.add_task(
+            lambda: TaskStatus.COMPLETE,
+            dependency=TaskID(index=0, list_id=tl.list_id),
+        )
+        with pytest.raises(TaskListError, match="cycle"):
+            TaskRegion([tl]).execute()
+
+    def test_failure_propagates(self):
+        tl = TaskList()
+        tl.add_task(lambda: TaskStatus.FAIL, label="boom")
+        with pytest.raises(TaskListError, match="boom"):
+            TaskRegion([tl]).execute()
+
+    def test_bad_return_value_rejected(self):
+        tl = TaskList()
+        tl.add_task(lambda: 42)
+        with pytest.raises(TaskListError, match="TaskStatus"):
+            TaskRegion([tl]).execute()
+
+    def test_permanently_incomplete_times_out(self):
+        tl = TaskList()
+        tl.add_task(lambda: TaskStatus.INCOMPLETE)
+        with pytest.raises(TaskListError, match="sweeps"):
+            TaskRegion([tl], max_sweeps=5).execute()
+
+    def test_single_task_region_helper(self):
+        log = []
+        stats = single_task_region([done(log, i) for i in range(4)])
+        assert stats.tasks_completed == 4
+        assert log == [0, 1, 2, 3]

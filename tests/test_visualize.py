@@ -1,0 +1,84 @@
+"""Tests for the ASCII field/level renderers."""
+
+import numpy as np
+import pytest
+
+from repro.driver.visualize import render_field, render_levels, sample_slice
+from repro.mesh.block import FieldSpec
+from repro.mesh.mesh import Mesh, MeshGeometry
+
+
+def make_mesh(ndim=2, allocate=True):
+    geo = MeshGeometry(
+        ndim=ndim,
+        mesh_size=tuple(32 if a < ndim else 1 for a in range(3)),
+        block_size=tuple(8 if a < ndim else 1 for a in range(3)),
+        ng=2,
+        num_levels=2,
+    )
+    return Mesh(geo, field_specs=[FieldSpec("q", 1)], allocate=allocate)
+
+
+class TestSampleSlice:
+    def test_constant_field_samples_constant(self):
+        mesh = make_mesh()
+        for blk in mesh.block_list:
+            blk.fields["q"][...] = 3.25
+        grid = sample_slice(mesh, "q", resolution=16)
+        assert np.allclose(grid, 3.25)
+
+    def test_gradient_orientation(self):
+        mesh = make_mesh()
+        for blk in mesh.block_list:
+            x = blk.cell_centers(0)
+            blk.fields["q"][...] = x[None, None, :] * np.ones_like(
+                blk.fields["q"][0]
+            )
+        grid = sample_slice(mesh, "q", resolution=16)
+        # Increases along columns (x1), constant along rows (x2).
+        assert grid[0, -1] > grid[0, 0]
+        assert grid[-1, 0] == pytest.approx(grid[0, 0], abs=1e-12)
+
+    def test_refined_blocks_win(self):
+        mesh = make_mesh()
+        loc = mesh.block_list[5].lloc
+        mesh.remesh(refine=[loc], derefine=[])
+        for blk in mesh.block_list:
+            blk.fields["q"][...] = float(blk.lloc.level)
+        grid = sample_slice(mesh, "q", resolution=32)
+        assert grid.max() == 1.0  # refined region sampled from fine blocks
+
+    def test_model_mode_rejected(self):
+        mesh = make_mesh(allocate=False)
+        with pytest.raises(ValueError, match="numeric"):
+            sample_slice(mesh, "q")
+
+
+class TestRender:
+    def test_field_render_shape_and_legend(self):
+        mesh = make_mesh()
+        for blk in mesh.block_list:
+            x = blk.cell_centers(0)
+            blk.fields["q"][...] = x[None, None, :] * np.ones_like(
+                blk.fields["q"][0]
+            )
+        text = render_field(mesh, "q", resolution=20)
+        lines = text.splitlines()
+        assert len(lines) == 21
+        assert all(len(l) == 20 for l in lines[:-1])
+        assert "range" in lines[-1]
+
+    def test_fixed_scale(self):
+        mesh = make_mesh()
+        for blk in mesh.block_list:
+            blk.fields["q"][...] = 0.5
+        text = render_field(mesh, "q", resolution=8, vmin=0.0, vmax=1.0)
+        # Mid-ramp character everywhere.
+        mid = text.splitlines()[0][0]
+        assert mid not in (" ", "@")
+
+    def test_level_map_shows_refinement(self):
+        mesh = make_mesh()
+        mesh.remesh(refine=[mesh.block_list[5].lloc], derefine=[])
+        text = render_levels(mesh, resolution=32)
+        assert "1" in text and "0" in text
