@@ -1,0 +1,142 @@
+"""Packed vs per-block numeric kernel execution (the Fig. 1c mechanism).
+
+The paper attributes the GPU's collapse at small MeshBlock sizes to per-block
+kernel-launch overhead, which Parthenon's MeshBlockPack amortizes by sweeping
+every block from one dispatch (Section II-C).  The numeric mode reproduces
+that mechanism in Python: per-block kernels pay interpreter and NumPy
+dispatch overhead once per block, the packed engine once per pack.  This
+benchmark measures the real wall-clock effect on the CalculateFluxes stage
+(reconstruction + Riemann — the paper's hottest kernel) across the Fig. 5
+block-size sweep, and verifies the two paths agree numerically.
+
+Acceptance: >= 2x speedup at block size 16^3 at paper scale.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from conftest import bench_scale, run_once
+
+from repro.comm.bvals import BoundaryExchange
+from repro.comm.mpi import SimMPI
+from repro.core.report import render_table
+from repro.driver.params import SimulationParams
+from repro.mesh.mesh import Mesh
+from repro.solver.burgers import (
+    BASE,
+    BurgersPackage,
+    CONSERVED,
+    DERIVED,
+    PackedBurgersKernels,
+)
+from repro.solver.initial_conditions import gaussian_blob
+from repro.solver.packs import build_numeric_pack
+
+SCALE = bench_scale()
+MESH = 32
+BLOCK_SIZES = (8, 16, 32)
+REPS = 3 if SCALE["quick"] else 9
+#: Required flux-stage speedup at block 16 (relaxed at quick scale, where the
+#: tiny rep count makes timings noisy).
+MIN_SPEEDUP_B16 = 1.2 if SCALE["quick"] else 2.0
+
+
+def _setup(block_size: int):
+    """A ghost-filled single-level mesh with the seed example's blob ICs."""
+    params = SimulationParams(
+        ndim=3,
+        mesh_size=MESH,
+        block_size=block_size,
+        num_levels=1,
+        num_scalars=8,
+    )
+    pkg = BurgersPackage(params.ndim, params.burgers_config())
+    mesh = Mesh(params.geometry(), pkg.field_specs(), allocate=True)
+    gaussian_blob(mesh, pkg, amplitude=0.8, width=0.15)
+    bx = BoundaryExchange(mesh, SimMPI(1))
+    bx.exchange([CONSERVED])
+    return mesh, pkg
+
+
+def _timed(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def _measure(block_size: int):
+    """(per_block_s, packed_s, worst flux deviation) for one block size."""
+    mesh, pkg = _setup(block_size)
+
+    def per_block():
+        for blk in mesh.block_list:
+            pkg.calculate_fluxes(blk)
+
+    per_block()  # warm caches and per-block flux allocations
+    t_per_block = _timed(per_block)
+    reference = [
+        [np.array(f) for f in blk.fluxes[CONSERVED] if f is not None]
+        for blk in mesh.block_list
+    ]
+
+    pack = build_numeric_pack(
+        mesh, (CONSERVED, BASE, DERIVED), flux_field=CONSERVED
+    )
+    engine = PackedBurgersKernels(pkg)
+
+    def packed():
+        engine.calculate_fluxes(pack)
+
+    packed()  # warm scratch allocations
+    t_packed = _timed(packed)
+    # Interleave the remaining reps so clock drift and background noise hit
+    # both paths symmetrically; keep the per-path minimum.
+    for _ in range(REPS - 1):
+        t_per_block = min(t_per_block, _timed(per_block))
+        t_packed = min(t_packed, _timed(packed))
+    worst = 0.0
+    for b, blk in enumerate(mesh.block_list):
+        for ref, got in zip(reference[b], blk.fluxes[CONSERVED]):
+            worst = max(worst, float(np.max(np.abs(ref - got))))
+    return t_per_block, t_packed, worst
+
+
+def test_packed_flux_speedup(benchmark, save_report):
+    def run():
+        rows = []
+        speedups = {}
+        for block in BLOCK_SIZES:
+            t_pb, t_pk, dev = _measure(block)
+            nblocks = (MESH // block) ** 3
+            speedups[block] = t_pb / t_pk
+            rows.append(
+                [
+                    block,
+                    nblocks,
+                    f"{t_pb * 1e3:.2f}",
+                    f"{t_pk * 1e3:.2f}",
+                    f"{speedups[block]:.2f}x",
+                    f"{dev:.1e}",
+                ]
+            )
+            assert dev < 1e-12, (
+                f"packed fluxes diverge from per-block at block {block}: {dev}"
+            )
+        assert speedups[16] >= MIN_SPEEDUP_B16, (
+            f"packed CalculateFluxes speedup at 16^3 is {speedups[16]:.2f}x, "
+            f"need >= {MIN_SPEEDUP_B16}x"
+        )
+        return render_table(
+            ["block", "nblocks", "per_block_ms", "packed_ms", "speedup", "max_dev"],
+            rows,
+            title=(
+                f"Packed vs per-block CalculateFluxes (mesh {MESH}^3, "
+                "numeric, min of "
+                f"{REPS} reps; launch amortization per Section II-C)"
+            ),
+        )
+
+    save_report("packed_kernels", run_once(benchmark, run))

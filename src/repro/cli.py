@@ -37,6 +37,15 @@ def _add_config_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--nodes", type=int, default=1)
     p.add_argument("--cycles", type=int, default=3)
     p.add_argument("--warmup", type=int, default=2)
+    p.add_argument(
+        "--mode", choices=("modeled", "numeric"), default="modeled",
+        help="cost-only synthetic run, or real PDE math (small configs)",
+    )
+    p.add_argument(
+        "--kernel-mode", choices=("packed", "per_block"), default="packed",
+        help="one fused launch per MeshBlockPack, or one per block "
+        "(the launch-overhead ablation)",
+    )
 
 
 def _build(args) -> tuple:
@@ -47,16 +56,24 @@ def _build(args) -> tuple:
         num_levels=args.levels,
         num_scalars=args.scalars,
     )
+    mode = getattr(args, "mode", "modeled")
+    kernel_mode = getattr(args, "kernel_mode", "packed")
     if args.backend == "gpu":
         config = ExecutionConfig(
             backend="gpu",
             num_gpus=args.gpus,
             ranks_per_gpu=args.ranks,
             num_nodes=args.nodes,
+            mode=mode,
+            kernel_mode=kernel_mode,
         )
     else:
         config = ExecutionConfig(
-            backend="cpu", cpu_ranks=args.ranks, num_nodes=args.nodes
+            backend="cpu",
+            cpu_ranks=args.ranks,
+            num_nodes=args.nodes,
+            mode=mode,
+            kernel_mode=kernel_mode,
         )
     return params, config
 

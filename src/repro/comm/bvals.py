@@ -26,7 +26,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.comm.buffers import BufferCache, BufferKey, CacheStats
+from repro.comm.buffers import (
+    BufferCache,
+    BufferKey,
+    CacheStats,
+    GhostBufferPool,
+)
 from repro.comm.mpi import SimMPI
 from repro.comm.topology import NeighborInfo, build_neighbor_table
 from repro.mesh.block import MeshBlock
@@ -270,6 +275,7 @@ class BoundaryExchange:
         self.mpi = mpi
         self.bytes_per_value = bytes_per_value
         self.cache = BufferCache(seed=cache_seed)
+        self.pool = GhostBufferPool()
         self.neighbor_table: Dict[LogicalLocation, List[NeighborInfo]] = {}
         self._specs: Dict[LogicalLocation, List[MessageSpec]] = {}
         self._inflight: Dict[BufferKey, Tuple[MessageSpec, Optional[dict]]] = {}
@@ -291,6 +297,7 @@ class BoundaryExchange:
         objects (the meshes there reach hundreds of thousands of links).
         """
         self.neighbor_table = build_neighbor_table(self.mesh)
+        self.pool.clear()
         if not self.mesh.allocate:
             return self._rebuild_modeled()
         nx = self.mesh.geometry.block_size
@@ -446,7 +453,9 @@ class BoundaryExchange:
                         if spec.restrict_before_send:
                             slab = restrict(slab, self.mesh.ndim)
                             stats.restrictions += 1
-                        payload[name] = np.ascontiguousarray(slab)
+                        buf = self.pool.acquire(slab.shape)
+                        np.copyto(buf, slab)
+                        payload[name] = buf
                 nbytes = spec.cells * ncomp * self.bytes_per_value
                 self.mpi.send(sender.rank, blk.rank, nbytes)
                 if sender.rank == blk.rank:
@@ -486,6 +495,11 @@ class BoundaryExchange:
         stats = ExchangeStats()
         if self.mesh.allocate:
             self._unpack(field_names)
+            # Consumed payload buffers go back to the pool for next cycle.
+            for _, payload in self._inflight.values():
+                if payload:
+                    for arr in payload.values():
+                        self.pool.release(arr)
             for blk in self.mesh.block_list:
                 self._fill_physical_ghosts(blk, field_names)
             stats.prolongations, stats.restrictions = (

@@ -23,6 +23,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.comm.bvals import BoundaryExchange
 from repro.comm.flux_correction import FluxCorrection
 from repro.comm.mpi import SimMPI
@@ -31,7 +33,12 @@ from repro.driver.params import SimulationParams
 from repro.hardware.cpu import CPUModel
 from repro.hardware.gpu import GPUModel
 from repro.hardware.serial import SerialCostModel, mpi_driver_memory_bytes
-from repro.kokkos.kernel import KERNEL_PROFILES, KernelLaunch, make_launch
+from repro.kokkos.kernel import (
+    KERNEL_PROFILES,
+    KernelLaunch,
+    launch_plan,
+    make_launch,
+)
 from repro.kokkos.memory import (
     KOKKOS_AUX,
     KOKKOS_MESH,
@@ -47,8 +54,15 @@ from repro.mesh.loadbalance import RedistributionPlan, balance
 from repro.mesh.mesh import Mesh
 from repro.mesh.refinement import AmrFlag, RefinementPolicy, SphericalWavefrontTagger
 from repro.solver.advance import RK2_STAGES
-from repro.solver.burgers import BurgersPackage, CONSERVED
+from repro.solver.burgers import (
+    BASE,
+    BurgersPackage,
+    CONSERVED,
+    DERIVED,
+    PackedBurgersKernels,
+)
 from repro.solver.history import HistoryRow, reduce_history
+from repro.solver.packs import MeshBlockPack, build_numeric_pack
 from repro.solver.state import Metadata
 
 
@@ -149,6 +163,15 @@ class ParthenonDriver:
         self._plan: RedistributionPlan = balance(self.mesh, config.total_ranks)
         self.bx.rebuild()
         self.fc.set_neighbor_table(self.bx.neighbor_table)
+        #: Cached contiguous pack for the packed execution engine; rebuilt
+        #: lazily and only when the mesh's block population changes.
+        self._pack: Optional[MeshBlockPack] = None
+        self.pack_rebuilds = 0
+        self._packed: Optional[PackedBurgersKernels] = (
+            PackedBurgersKernels(self.pkg)
+            if numeric and config.kernel_mode == "packed"
+            else None
+        )
         if numeric and initial_conditions is not None:
             initial_conditions(self.mesh, self.pkg)
         self._update_memory()
@@ -158,6 +181,25 @@ class ParthenonDriver:
     @property
     def numeric(self) -> bool:
         return self.config.mode == "numeric"
+
+    @property
+    def use_packed(self) -> bool:
+        """True when numeric kernels run through the packed engine."""
+        return self._packed is not None
+
+    def _get_pack(self) -> MeshBlockPack:
+        """The contiguous whole-mesh pack, rebuilt only after remeshing.
+
+        After a rebuild every block's field and flux arrays alias pack
+        storage, so ghost exchange, flux correction, prolongation and the
+        per-block diagnostics all see packed data without copies.
+        """
+        if self._pack is None:
+            self._pack = build_numeric_pack(
+                self.mesh, (CONSERVED, BASE, DERIVED), flux_field=CONSERVED
+            )
+            self.pack_rebuilds += 1
+        return self._pack
 
     @property
     def _exchange_fields(self) -> List[str]:
@@ -217,14 +259,12 @@ class ParthenonDriver:
         per_block = (
             profile.per_block_launch
             or self.config.optimizations.disable_packing
+            or self.config.kernel_mode == "per_block"
         )
-        if per_block:
-            block_cells = self.params.block_size ** self.params.ndim
-            nlaunches = max(1, round(cells / block_cells))
-            launch_cells = block_cells
-        else:
-            nlaunches = ranks
-            launch_cells = max(1, math.ceil(cells / ranks))
+        block_cells = self.params.block_size ** self.params.ndim
+        nlaunches, launch_cells = launch_plan(
+            cells, block_cells, ranks, per_block
+        )
         launch = make_launch(
             name, space, cells=launch_cells, block_nx=block_nx,
             ncomp=self.pkg.ncomp,
@@ -308,7 +348,9 @@ class ParthenonDriver:
         for istage, (gam0, gam1, beta) in enumerate(RK2_STAGES):
             if istage == 0:
                 with self.prof.region("WeightedSumData"):
-                    if self.numeric:
+                    if self.use_packed:
+                        PackedBurgersKernels.save_base(self._get_pack())
+                    elif self.numeric:
                         for blk in self.mesh.block_list:
                             self.pkg.save_base(blk)
                     self._kernel("WeightedSumData", total_cells)
@@ -316,7 +358,9 @@ class ParthenonDriver:
         with self.prof.region("FillDerived"):
             self.pkg.registry.get_by_flag(Metadata.DERIVED)
             self._charge_lookup()
-            if self.numeric:
+            if self.use_packed:
+                self._packed.fill_derived(self._get_pack())
+            elif self.numeric:
                 for blk in self.mesh.block_list:
                     self.pkg.fill_derived(blk)
             self._kernel("CalculateDerived", total_cells)
@@ -369,7 +413,11 @@ class ParthenonDriver:
         def flux_divergence_and_update():
             with self.prof.region("FluxDivergence"):
                 self._charge_lookup()
-                if self.numeric:
+                if self.use_packed:
+                    self._packed.flux_divergence_and_update(
+                        self._get_pack(), gam0, gam1, beta_dt
+                    )
+                elif self.numeric:
                     for blk in self.mesh.block_list:
                         dudt = self.pkg.flux_divergence(blk)
                         self.pkg.weighted_sum(blk, dudt, gam0, gam1, beta_dt)
@@ -440,7 +488,9 @@ class ParthenonDriver:
         with self.prof.region("CalculateFluxes"):
             self.pkg.registry.get_by_flag(Metadata.WITH_FLUXES)
             self._charge_lookup()
-            if self.numeric:
+            if self.use_packed:
+                self._packed.calculate_fluxes(self._get_pack())
+            elif self.numeric:
                 for blk in self.mesh.block_list:
                     self.pkg.calculate_fluxes(blk)
             self._kernel("CalculateFluxes", total_cells)
@@ -518,6 +568,11 @@ class ParthenonDriver:
                     self.serial_model.redistribution(moved, bytes_per_block)
                 )
             if remesh_stats.created or remesh_stats.destroyed or moved:
+                if remesh_stats.created or remesh_stats.destroyed:
+                    # The block population changed: the contiguous pack's
+                    # views are stale.  (Pure load-balance moves only remap
+                    # ranks; surviving block arrays — pack views — persist.)
+                    self._pack = None
                 rebuild = self.bx.rebuild()
                 self.fc.set_neighbor_table(self.bx.neighbor_table)
                 rebuild_cost = (
@@ -554,9 +609,12 @@ class ParthenonDriver:
     def _current_dt(self) -> float:
         if not self.numeric:
             return 1.0
-        dt = math.inf
-        for blk in self.mesh.block_list:
-            dt = min(dt, self.pkg.estimate_timestep(blk))
+        if self.use_packed:
+            dt = float(np.min(self._packed.estimate_timestep(self._get_pack())))
+        else:
+            dt = math.inf
+            for blk in self.mesh.block_list:
+                dt = min(dt, self.pkg.estimate_timestep(blk))
         if not math.isfinite(dt):
             dt = 1e-3
         return dt

@@ -71,6 +71,11 @@ class ExecutionConfig:
     #: "modeled" runs the synthetic workload with cost-only kernels;
     #: "numeric" runs real PDE data (small configurations only).
     mode: str = "modeled"
+    #: How numeric kernels execute: "packed" sweeps one contiguous
+    #: MeshBlockPack per dispatch (Parthenon's launch-amortized default,
+    #: Section II-C); "per_block" loops blocks one kernel call each — the
+    #: launch-overhead ablation.  Modeled runs use it for launch accounting.
+    kernel_mode: str = "packed"
     gpu_spec: GPUSpec = H100_SXM
     cpu_spec: CPUSpec = SAPPHIRE_RAPIDS_8468
     calibration: Calibration = DEFAULT_CALIBRATION
@@ -81,6 +86,11 @@ class ExecutionConfig:
             raise ValueError(f"backend must be 'gpu' or 'cpu', got {self.backend!r}")
         if self.mode not in ("modeled", "numeric"):
             raise ValueError(f"mode must be 'modeled' or 'numeric', got {self.mode!r}")
+        if self.kernel_mode not in ("packed", "per_block"):
+            raise ValueError(
+                f"kernel_mode must be 'packed' or 'per_block', "
+                f"got {self.kernel_mode!r}"
+            )
         if self.num_nodes < 1:
             raise ValueError("num_nodes must be >= 1")
         if self.backend == "gpu":

@@ -130,6 +130,7 @@ def params_from_input(text: str) -> Tuple[SimulationParams, ExecutionConfig]:
         cpu_ranks=_get(s, "platform", "cpu_ranks", 96),
         num_nodes=_get(s, "platform", "num_nodes", 1),
         mode=str(_get(s, "platform", "mode", "modeled")),
+        kernel_mode=str(_get(s, "platform", "kernel_mode", "packed")),
     )
     return params, config
 
@@ -166,6 +167,7 @@ def render_input(params: SimulationParams, config: ExecutionConfig) -> str:
         "<platform>",
         f"backend = {config.backend}",
         f"mode = {config.mode}",
+        f"kernel_mode = {config.kernel_mode}",
         f"num_nodes = {config.num_nodes}",
     ]
     if config.is_gpu:

@@ -22,6 +22,7 @@ for other configurations.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
@@ -225,3 +226,21 @@ def make_launch(
         lines=lines,
         block_nx=block_nx,
     )
+
+
+def launch_plan(
+    cells: int, block_cells: int, num_packs: int, per_block: bool
+) -> Tuple[int, int]:
+    """``(num_launches, cells_per_launch)`` for one kernel sweep.
+
+    Packed execution dispatches once per MeshBlockPack over all its cells;
+    per-block execution (Parthenon's ``per_block_launch`` kernels, or the
+    ``kernel_mode="per_block"`` ablation) dispatches once per mesh block.
+    This is the launch-count arithmetic behind the paper's Fig. 1c
+    launch-overhead discussion.
+    """
+    if cells <= 0 or block_cells <= 0 or num_packs <= 0:
+        raise ValueError("cells, block_cells and num_packs must be positive")
+    if per_block:
+        return max(1, round(cells / block_cells)), block_cells
+    return num_packs, max(1, math.ceil(cells / num_packs))

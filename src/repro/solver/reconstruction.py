@@ -12,9 +12,11 @@ WENO5 follows Jiang & Shu (1996) — the scheme the paper's experiments use
 
 from __future__ import annotations
 
-from typing import Tuple
+import math
+from typing import Dict, Tuple
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.mesh.prolongation import minmod
 
@@ -130,3 +132,164 @@ def face_states(
     moved = np.moveaxis(q, axis, -1)
     ql, qr = fn(moved, ng, nxa)
     return np.moveaxis(ql, -1, axis), np.moveaxis(qr, -1, axis)
+
+
+# --------------------------------------------------------------------------
+# Fused pack-level WENO5 (GEMM-formulated stencils)
+#
+# The twelve linear stencil contractions of one WENO5 face pair — the three
+# beta "jump" terms of each smoothness indicator (split into the squared
+# second-difference ``t`` and first-difference ``u`` parts) and the six
+# candidate polynomials (forward and mirrored) — are all dot products of the
+# same 5-cell sliding window.  Stacking them into one (12, 5) matrix turns
+# the whole stencil phase into a single BLAS dgemm over every window of every
+# block in a pack, which is how the packed execution engine amortizes
+# per-call overhead the way Parthenon's MeshBlockPack amortizes kernel
+# launches (Section II-C).
+#
+# Constant folding keeps the elementwise epilogue short: sqrt(13/12) into the
+# ``t`` rows and 1/2 into the ``u`` rows (so beta = t^2 + u^2), 1/6 into all
+# polynomial rows, and the mirrored-weight ratios 3 and 9 into the reversed
+# p1/p2 rows (the mirrored betas satisfy b0r = b2, b1r = b1, b2r = b0, so the
+# reversed nonlinear weights reuse the forward g's as
+# num = g2*p0r + g1*(3 p1r) + g0*(9 p2r), den = g2 + 3 g1 + 9 g0).
+
+
+def _build_weno5_matrix() -> np.ndarray:
+    m = np.array(
+        [
+            [1, -2, 1, 0, 0],    # t0: second difference of the left stencil
+            [1, -4, 3, 0, 0],    # u0: first-difference part of beta0
+            [0, 1, -2, 1, 0],    # t1
+            [0, 1, 0, -1, 0],    # u1
+            [0, 0, 1, -2, 1],    # t2
+            [0, 0, 3, -4, 1],    # u2
+            [2, -7, 11, 0, 0],   # p0 forward
+            [0, -1, 5, 2, 0],    # p1 forward
+            [0, 0, 2, 5, -1],    # p2 forward
+            [0, 0, 11, -7, 2],   # p0 reversed
+            [0, 2, 5, -1, 0],    # p1 reversed
+            [-1, 5, 2, 0, 0],    # p2 reversed
+        ],
+        dtype=float,
+    )
+    sq = math.sqrt(13.0 / 12.0)
+    for row in (0, 2, 4):
+        m[row] *= sq
+    for row in (1, 3, 5):
+        m[row] *= 0.5
+    m[6:] /= 6.0
+    m[10] *= 3.0
+    m[11] *= 9.0
+    return np.ascontiguousarray(m)
+
+
+#: (12, 5) stencil matrix: one dgemm with this against the 5-cell windows
+#: yields every linear quantity WENO5 needs (see the folding notes above).
+WENO5_STENCIL_MATRIX = _build_weno5_matrix()
+
+#: Linear WENO5 weights (forward orientation).
+_WENO_D = (0.1, 0.6, 0.3)
+
+
+class _Weno5Scratch:
+    """Preallocated workspace for one (leading-shape, window-count) geometry."""
+
+    __slots__ = ("win_c", "win_view", "out", "ql", "qr")
+
+    def __init__(self, lead: Tuple[int, ...], nc: int) -> None:
+        n = int(np.prod(lead)) * nc
+        self.win_c = np.empty((n, 5))
+        self.win_view = self.win_c.reshape(lead + (nc, 5))
+        self.out = np.empty((12, n))
+        self.ql = np.empty(n)
+        self.qr = np.empty(n)
+
+
+class FusedWeno5:
+    """Batched WENO5 reconstruction over contiguous recon-last arrays.
+
+    ``faces(w, ng, nxa)`` consumes an array whose last axis is the
+    reconstruction direction (interior + ghosts) and returns left/right
+    states at the ``nxa + 1`` interior faces, numerically equivalent to
+    :func:`weno5_states_along` (identical algebra, different — batched —
+    evaluation order, so agreement is at rounding level, ~1e-16).
+
+    Returned arrays are views into internal scratch: valid until the next
+    call with the same geometry.  Scratch is cached per input shape so
+    steady-state sweeps perform no allocations.
+    """
+
+    def __init__(self) -> None:
+        self._scratch: Dict[Tuple[Tuple[int, ...], int], _Weno5Scratch] = {}
+
+    def _get_scratch(self, lead: Tuple[int, ...], nc: int) -> _Weno5Scratch:
+        key = (lead, nc)
+        s = self._scratch.get(key)
+        if s is None:
+            s = _Weno5Scratch(lead, nc)
+            self._scratch[key] = s
+        return s
+
+    def faces(
+        self, w: np.ndarray, ng: int, nxa: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        if ng < 3:
+            raise ValueError(f"WENO5 needs >= 3 ghost cells, got {ng}")
+        lead = w.shape[:-1]
+        nc = nxa + 2  # cells contributing an edge value: ng-1 .. ng+nxa
+        s = self._get_scratch(lead, nc)
+
+        # One copy: the sliding windows of the ghost-extended span, laid out
+        # contiguously as (N, 5) rows for the gemm.  (Reshaping the strided
+        # window view itself would silently copy a second time.)
+        win = sliding_window_view(w[..., ng - 3 : ng + nxa + 3], 5, axis=-1)
+        np.copyto(s.win_view, win)
+        np.matmul(WENO5_STENCIL_MATRIX, s.win_c.T, out=s.out)
+
+        t0, u0, t1, u1, t2, u2, p0f, p1f, p2f, p0r, p1r, p2r = s.out
+        # beta_k = t_k^2 + u_k^2 (constants folded into the matrix rows);
+        # computed in place into the t rows, freeing them for reuse.
+        b0, b1, b2 = t0, t1, t2
+        np.multiply(t0, t0, out=b0)
+        np.multiply(u0, u0, out=u0)
+        np.add(b0, u0, out=b0)
+        np.multiply(t1, t1, out=b1)
+        np.multiply(u1, u1, out=u1)
+        np.add(b1, u1, out=b1)
+        np.multiply(t2, t2, out=b2)
+        np.multiply(u2, u2, out=u2)
+        np.add(b2, u2, out=b2)
+        # Unnormalized nonlinear weights g_k = d_k / (eps + beta_k)^2,
+        # overwriting the (now free) u rows.
+        g0, g1, g2 = u0, u1, u2
+        for b, g, d in ((b0, g0, _WENO_D[0]), (b1, g1, _WENO_D[1]), (b2, g2, _WENO_D[2])):
+            np.add(b, WENO_EPS, out=b)
+            np.multiply(b, b, out=b)
+            np.divide(d, b, out=g)
+        num, den, tmp = t0, t1, t2  # t rows are free again
+        # Forward (left state at each face = right edge of the cell).
+        np.multiply(g0, p0f, out=num)
+        np.multiply(g1, p1f, out=tmp)
+        np.add(num, tmp, out=num)
+        np.multiply(g2, p2f, out=tmp)
+        np.add(num, tmp, out=num)
+        np.add(g0, g1, out=den)
+        np.add(den, g2, out=den)
+        np.divide(num, den, out=s.ql)
+        # Reversed (right state = left edge): mirrored betas reuse the g's.
+        np.multiply(g2, p0r, out=num)
+        np.multiply(g1, p1r, out=tmp)
+        np.add(num, tmp, out=num)
+        np.multiply(g0, p2r, out=tmp)
+        np.add(num, tmp, out=num)
+        np.multiply(g1, 3.0, out=den)
+        np.add(den, g2, out=den)
+        np.multiply(g0, 9.0, out=tmp)
+        np.add(den, tmp, out=den)
+        np.divide(num, den, out=s.qr)
+
+        shape = lead + (nc,)
+        ql = s.ql.reshape(shape)[..., : nxa + 1]
+        qr = s.qr.reshape(shape)[..., 1 : nxa + 2]
+        return ql, qr

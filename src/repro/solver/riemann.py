@@ -65,3 +65,117 @@ def llf_flux(
 
 
 RIEMANN_SOLVERS = {"hll": hll_flux, "llf": llf_flux}
+
+
+# --------------------------------------------------------------------------
+# In-place pack-level solvers.
+#
+# The packed execution engine evaluates fluxes for a whole chunk of blocks
+# per call on arrays shaped ``(nblocks, ncomp, *face_dims)``.  Writing the
+# HLL formula in coefficient form,
+#
+#   F = B * ql + A * qr + C * (qr - ql),
+#   B = sr * unl / w,  A = -sl * unr / w,  C = sl * sr / w   (w = sr - sl),
+#
+# with the velocity components halved afterwards (their physical flux is
+# ``u_i u_d / 2`` vs ``q_j u_d`` for scalars) folds the per-component
+# physical fluxes into three face-shaped coefficient arrays, roughly halving
+# the number of full-size array passes versus the textbook expression.  All
+# intermediates live in caller-provided scratch so steady-state sweeps are
+# allocation-free.
+
+
+class HLLScratch:
+    """Preallocated face-shaped intermediates for the in-place solvers.
+
+    ``state_shape`` is the full flux shape ``(nblocks, ncomp, *face_dims)``;
+    the coefficient buffers drop the component axis.
+    """
+
+    __slots__ = ("a", "b", "c", "width", "safe", "pos", "neg", "ftmp")
+
+    def __init__(self, state_shape: Tuple[int, ...]) -> None:
+        face = state_shape[:1] + state_shape[2:]
+        self.a = np.empty(face)
+        self.b = np.empty(face)
+        self.c = np.empty(face)
+        self.width = np.empty(face)
+        self.safe = np.empty(face)
+        self.pos = np.empty(face, dtype=bool)
+        self.neg = np.empty(face, dtype=bool)
+        self.ftmp = np.empty(state_shape)
+
+
+def hll_flux_into(
+    ul: np.ndarray,
+    ur: np.ndarray,
+    direction: int,
+    nvel: int,
+    out: np.ndarray,
+    scratch: HLLScratch,
+) -> np.ndarray:
+    """HLL flux of :func:`hll_flux`, batched over a leading block axis.
+
+    ``ul``/``ur``/``out`` are ``(nblocks, ncomp, *face_dims)``; components
+    sit on axis 1.  ``out`` must not alias the inputs.
+    """
+    unl = ul[:, direction]
+    unr = ur[:, direction]
+    a, b, c = scratch.a, scratch.b, scratch.c
+    np.minimum(unl, unr, out=a)
+    np.minimum(a, 0.0, out=a)  # sl <= 0
+    np.maximum(unl, unr, out=b)
+    np.maximum(b, 0.0, out=b)  # sr >= 0
+    np.subtract(b, a, out=scratch.width)
+    np.greater(scratch.width, 0.0, out=scratch.pos)
+    np.logical_not(scratch.pos, out=scratch.neg)
+    np.copyto(scratch.safe, 1.0)
+    np.copyto(scratch.safe, scratch.width, where=scratch.pos)
+    np.multiply(a, b, out=c)
+    np.divide(c, scratch.safe, out=c)  # C = sl*sr/w
+    np.divide(a, scratch.safe, out=a)
+    np.divide(b, scratch.safe, out=b)
+    np.multiply(b, unl, out=b)  # B = sr*unl/w
+    np.multiply(a, unr, out=a)
+    np.negative(a, out=a)  # A = -sl*unr/w
+    np.copyto(a, 0.0, where=scratch.neg)
+    np.copyto(b, 0.0, where=scratch.neg)
+    np.copyto(c, 0.0, where=scratch.neg)
+    np.multiply(ul, b[:, None], out=out)
+    np.multiply(ur, a[:, None], out=scratch.ftmp)
+    np.add(out, scratch.ftmp, out=out)
+    out[:, :nvel] *= 0.5
+    np.subtract(ur, ul, out=scratch.ftmp)
+    np.multiply(scratch.ftmp, c[:, None], out=scratch.ftmp)
+    np.add(out, scratch.ftmp, out=out)
+    return out
+
+
+def llf_flux_into(
+    ul: np.ndarray,
+    ur: np.ndarray,
+    direction: int,
+    nvel: int,
+    out: np.ndarray,
+    scratch: HLLScratch,
+) -> np.ndarray:
+    """Local Lax-Friedrichs flux, batched over a leading block axis."""
+    unl = ul[:, direction]
+    unr = ur[:, direction]
+    np.multiply(ul, unl[:, None], out=out)
+    np.multiply(ur, unr[:, None], out=scratch.ftmp)
+    np.add(out, scratch.ftmp, out=out)
+    out *= 0.5
+    out[:, :nvel] *= 0.5
+    np.absolute(unl, out=scratch.a)
+    np.absolute(unr, out=scratch.b)
+    np.maximum(scratch.a, scratch.b, out=scratch.a)
+    scratch.a *= 0.5
+    np.subtract(ur, ul, out=scratch.ftmp)
+    np.multiply(scratch.ftmp, scratch.a[:, None], out=scratch.ftmp)
+    np.subtract(out, scratch.ftmp, out=out)
+    return out
+
+
+#: In-place pack-level counterparts of :data:`RIEMANN_SOLVERS`.
+RIEMANN_SOLVERS_FUSED = {"hll": hll_flux_into, "llf": llf_flux_into}

@@ -75,3 +75,49 @@ class TestLifecycle:
         cache = BufferCache()
         cache.initialize(make_keys(3))
         assert cache.total_buffer_bytes() == 3 * 128
+
+
+class TestGhostBufferPool:
+    def test_acquire_miss_allocates(self):
+        from repro.comm.buffers import GhostBufferPool
+
+        pool = GhostBufferPool()
+        buf = pool.acquire((3, 4, 4))
+        assert buf.shape == (3, 4, 4)
+        assert pool.misses == 1 and pool.hits == 0 and pool.pooled == 0
+
+    def test_release_then_acquire_recycles_same_array(self):
+        from repro.comm.buffers import GhostBufferPool
+
+        pool = GhostBufferPool()
+        buf = pool.acquire((2, 8, 8))
+        pool.release(buf)
+        assert pool.pooled == 1
+        again = pool.acquire((2, 8, 8))
+        assert again is buf
+        assert pool.hits == 1 and pool.misses == 1 and pool.pooled == 0
+
+    def test_shapes_pool_independently(self):
+        from repro.comm.buffers import GhostBufferPool
+
+        pool = GhostBufferPool()
+        small = pool.acquire((2, 2))
+        pool.release(small)
+        big = pool.acquire((4, 4))
+        assert big is not small
+        assert pool.misses == 2 and pool.hits == 0
+        assert pool.pooled == 1  # the small one is still free
+
+    def test_release_counter_and_clear(self):
+        from repro.comm.buffers import GhostBufferPool
+
+        pool = GhostBufferPool()
+        for _ in range(3):
+            pool.release(pool.acquire((5,)))
+        assert pool.released == 3
+        pool.clear()
+        assert pool.pooled == 0
+        # After clear the next acquire must not hand back a dropped buffer:
+        # the loop above missed once then recycled, so this is miss #2.
+        pool.acquire((5,))
+        assert pool.misses == 2 and pool.hits == 2

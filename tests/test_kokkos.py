@@ -211,3 +211,69 @@ class TestMemoryTracker:
         t.allocate(MPI_BUFFERS, 200)
         with pytest.raises(OutOfMemoryError, match="device memory exhausted"):
             t.check_capacity()
+
+
+class TestProfilerInvariants:
+    """Structural consistency of the profiler after a full driver run.
+
+    These pin the accounting contract the launch-overhead analysis rests
+    on: balanced region scoping, a gap-free simulated timeline, and
+    region totals that re-sum to the wall clock.
+    """
+
+    @pytest.fixture(scope="class")
+    def prof(self):
+        from repro.driver.driver import ParthenonDriver
+        from repro.driver.execution import ExecutionConfig
+        from repro.driver.params import SimulationParams
+        from repro.solver.initial_conditions import gaussian_blob
+
+        params = SimulationParams(
+            ndim=2, mesh_size=32, block_size=8, num_levels=2, num_scalars=1
+        )
+        config = ExecutionConfig(
+            backend="gpu", num_gpus=1, ranks_per_gpu=2, mode="numeric"
+        )
+        driver = ParthenonDriver(
+            params,
+            config,
+            initial_conditions=lambda mesh, pkg: gaussian_blob(
+                mesh, pkg, amplitude=0.8, width=0.15
+            ),
+        )
+        driver.run(3)
+        return driver.prof
+
+    def test_region_stack_balanced(self, prof):
+        assert prof._stack == []
+        assert prof.current_region == Profiler.TOPLEVEL
+
+    def test_event_durations_nonnegative(self, prof):
+        assert prof.events
+        assert all(dur >= 0.0 for _, _, _, _, dur, _ in prof.events)
+
+    def test_events_tile_the_timeline(self, prof):
+        now = 0.0
+        for _, _, _, start, dur, _ in prof.events:
+            assert start == pytest.approx(now, abs=1e-9)
+            now += dur
+
+    def test_region_totals_sum_to_wall_clock(self, prof):
+        by_region = sum(t.serial + t.kernel for t in prof.regions.values())
+        by_events = sum(dur for _, _, _, _, dur, _ in prof.events)
+        assert by_region == pytest.approx(prof.total_seconds, abs=1e-9)
+        assert by_events == pytest.approx(prof.total_seconds, abs=1e-9)
+
+    def test_kernel_bins_match_kernel_events(self, prof):
+        by_event = {}
+        for _, category, kernel, _, dur, _ in prof.events:
+            if category == "kernel":
+                by_event[kernel] = by_event.get(kernel, 0.0) + dur
+        assert set(by_event) == set(prof.kernel_seconds)
+        for name, total in prof.kernel_seconds.items():
+            assert by_event[name] == pytest.approx(total, abs=1e-9)
+
+    def test_cycle_tags_monotonic(self, prof):
+        cycles = [cycle for _, _, _, _, _, cycle in prof.events]
+        assert cycles == sorted(cycles)
+        assert prof.cycles == 3

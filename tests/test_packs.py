@@ -119,3 +119,92 @@ class TestNoPackingAblation:
         ).run(3)
         assert unpacked.kernel_seconds > 1.5 * packed.kernel_seconds
         assert unpacked.fom < packed.fom
+
+
+class TestContiguousPack:
+    """The dense (nblocks, ncomp, x3, x2, x1) storage fused kernels sweep."""
+
+    def test_gather_fills_dense_storage(self):
+        mesh = make_mesh()
+        for i, blk in enumerate(mesh.block_list):
+            blk.fields["u"][...] = float(i)
+            blk.fields["q"][...] = float(-i)
+        pack = MeshBlockPack(mesh.block_list, ["u", "q"], contiguous=True)
+        assert pack.data is not None
+        assert pack.data.shape == (
+            len(mesh.block_list),
+            5,
+        ) + mesh.block_list[0].shape.array_shape
+        assert pack.data.flags["C_CONTIGUOUS"]
+        for i in range(len(mesh.block_list)):
+            assert np.all(pack.data[i, :3] == float(i))
+            assert np.all(pack.data[i, 3:] == float(-i))
+
+    def test_getitem_is_true_view(self):
+        mesh = make_mesh()
+        pack = MeshBlockPack(mesh.block_list, ["u", "q"], contiguous=True)
+        view = pack[2]
+        assert view.base is pack.data
+        view[...] = 7.0
+        assert np.all(pack.data[2] == 7.0)
+
+    def test_adopt_blocks_aliases_fields(self):
+        mesh = make_mesh()
+        pack = MeshBlockPack(mesh.block_list, ["u", "q"], contiguous=True)
+        pack.adopt_blocks()
+        blk = mesh.block_list[1]
+        # Block writes (ghost exchange, boundary fills) land in the pack...
+        blk.fields["u"][...] = 3.0
+        assert np.all(pack.field("u")[1] == 3.0)
+        # ...and pack-kernel writes are visible through the block.
+        pack.field("q")[1, ...] = 4.0
+        assert np.all(blk.fields["q"] == 4.0)
+
+    def test_scatter_all_noop_after_adoption(self):
+        mesh = make_mesh()
+        pack = MeshBlockPack(mesh.block_list, ["u", "q"], contiguous=True)
+        pack.adopt_blocks()
+        pack.data[...] = 5.0
+        pack.scatter_all()
+        assert np.all(mesh.block_list[0].fields["u"] == 5.0)
+
+    def test_adopt_fluxes_shapes_and_aliasing(self):
+        mesh = make_mesh()
+        pack = MeshBlockPack(mesh.block_list, ["u"], contiguous=True)
+        pack.adopt_fluxes("u")
+        blk = mesh.block_list[0]
+        nx = blk.shape.nx
+        fx, fy, fz = pack.flux_data["u"]
+        assert fz is None  # 2D mesh: no x3 faces
+        assert fx.shape == (len(pack), 3, 1, nx[1], nx[0] + 1)
+        assert fy.shape == (len(pack), 3, 1, nx[1] + 1, nx[0])
+        fx[0, ...] = 9.0
+        assert np.all(blk.fluxes["u"][0] == 9.0)
+        assert blk.fluxes["u"][2] is None
+
+    def test_field_view_and_dx_array(self):
+        mesh = make_mesh()
+        pack = MeshBlockPack(mesh.block_list, ["u", "q"], contiguous=True)
+        q = pack.field("q")
+        assert q.shape == (len(pack), 2) + mesh.block_list[0].shape.array_shape
+        assert q.base is pack.data
+        dx = pack.dx_array(0)
+        assert dx.shape == (len(pack),)
+        expected = np.array([blk.dx(0) for blk in mesh.block_list])
+        np.testing.assert_array_equal(dx, expected)
+
+    def test_non_contiguous_pack_rejects_dense_api(self):
+        mesh = make_mesh()
+        pack = MeshBlockPack(mesh.block_list, ["u"])
+        with pytest.raises(ValueError, match="contiguous"):
+            pack.field("u")
+
+    def test_build_numeric_pack_adopts_everything(self):
+        from repro.solver.packs import build_numeric_pack
+
+        mesh = make_mesh()
+        pack = build_numeric_pack(mesh, ("u", "q"), flux_field="u")
+        for b, blk in enumerate(mesh.block_list):
+            assert blk.fields["u"].base is pack.data
+            assert blk.fields["q"].base is pack.data
+            assert blk.fluxes["u"][0].base is pack.flux_data["u"][0]

@@ -142,3 +142,57 @@ def test_restrict_conserves_total_property(fine):
     """Property: volume-weighted total is invariant under restriction."""
     coarse = restrict(fine, 1)
     assert coarse.sum() * 2 == pytest.approx(fine.sum(), abs=1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    c=st.floats(-1e30, 1e30, allow_nan=False),
+    ndim=st.integers(1, 3),
+    ncomp=st.integers(1, 3),
+    extent=st.sampled_from([4, 6, 8]),
+)
+def test_restrict_of_prolonged_constant_exact_property(c, ndim, ncomp, extent):
+    """Property: a constant field survives prolong+restrict bit-exactly.
+
+    Minmod slopes of a constant are exactly zero and the 2^ndim-child
+    average divides by a power of two, so no rounding at all is allowed.
+    """
+    shape = (ncomp,) + (1,) * (3 - ndim) + (extent,) * ndim
+    coarse = np.full(shape, c)
+    fine = prolong(coarse, ndim)
+    assert np.all(fine == c)
+    interior = coarse[
+        (slice(None),)
+        + tuple(
+            slice(1, -1) if axis >= 3 - ndim else slice(None)
+            for axis in range(3)
+        )
+    ]
+    assert np.array_equal(restrict(fine, ndim), interior)
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_restrict_conserves_sum_over_random_regions_property(data):
+    """Property: restriction conserves the volume-weighted total for any
+    refined region shape, dimensionality, and component count."""
+    ndim = data.draw(st.integers(1, 3), label="ndim")
+    ncomp = data.draw(st.integers(1, 4), label="ncomp")
+    extents = tuple(
+        data.draw(st.sampled_from([2, 4, 6, 8]), label=f"extent{axis}")
+        for axis in range(ndim)
+    )
+    shape = (ncomp,) + (1,) * (3 - ndim) + extents
+    fine = data.draw(
+        hnp.arrays(
+            np.float64,
+            shape,
+            elements=st.floats(-1e6, 1e6, allow_nan=False),
+        ),
+        label="fine",
+    )
+    coarse = restrict(fine, ndim)
+    # Each coarse cell has 2^ndim times the fine-cell volume.
+    assert coarse.sum() * 2 ** ndim == pytest.approx(
+        fine.sum(), rel=1e-9, abs=1e-5
+    )
