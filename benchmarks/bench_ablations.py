@@ -69,9 +69,9 @@ def test_ablation_restructured_enables_more_ranks(benchmark, save_report, scale)
                     ranks_per_gpu=r,
                     optimizations=flags,
                 )
-                from repro.core.characterize import characterize
+                from repro.api import RunSpec, Simulation
 
-                res = characterize(params, config, scale["ncycles"], scale["warmup"])
+                res = Simulation(RunSpec(params=params, config=config, ncycles=scale["ncycles"], warmup=scale["warmup"])).run()
                 if not res.oom:
                     max_ok = r
             rows.append([label, max_ok])

@@ -11,7 +11,7 @@ from conftest import bench_scale, run_once
 
 from dataclasses import replace
 
-from repro.core.characterize import characterize
+from repro.api import RunSpec, Simulation
 from repro.core.report import render_table
 from repro.driver.execution import ExecutionConfig
 from repro.driver.params import SimulationParams
@@ -28,7 +28,7 @@ def test_amr_vs_uniform_fine(benchmark, save_report, scale):
             params = SimulationParams(
                 mesh_size=MESH, block_size=block, num_levels=3
             )
-            r = characterize(params, GPU_1R, scale["ncycles"], scale["warmup"])
+            r = Simulation(RunSpec(params=params, config=GPU_1R, ncycles=scale["ncycles"], warmup=scale["warmup"])).run()
             amr_cells = r.cell_updates / r.cycles
             uniform = (MESH * 2 ** (params.num_levels - 1)) ** 3
             rows.append(
@@ -62,7 +62,7 @@ def test_derefinement_gap_cost(benchmark, save_report, scale):
         )
         for gap in (0, 10, 30):
             params = replace(base, derefine_gap=gap)
-            r = characterize(params, GPU_1R, scale["ncycles"], max(scale["warmup"], 3))
+            r = Simulation(RunSpec(params=params, config=GPU_1R, ncycles=scale["ncycles"], warmup=max(scale["warmup"], 3))).run()
             rows.append(
                 [
                     gap,

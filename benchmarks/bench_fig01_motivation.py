@@ -9,7 +9,8 @@
 
 from conftest import bench_scale, run_once
 
-from repro.core.characterize import characterize, kernel_fraction
+from repro.api import RunSpec, Simulation
+from repro.core.characterize import kernel_fraction
 from repro.core.report import render_table
 from repro.driver.execution import ExecutionConfig
 from repro.driver.params import SimulationParams
@@ -32,9 +33,7 @@ def test_fig1a_cells_processed(benchmark, save_report, scale):
         rows = []
         per_cycle = {}
         for block in BLOCKS:
-            r = characterize(
-                _params(block), GPU_1R, scale["ncycles"], scale["warmup"]
-            )
+            r = Simulation(RunSpec(params=_params(block), config=GPU_1R, ncycles=scale["ncycles"], warmup=scale["warmup"])).run()
             per_cycle[block] = r.cell_updates / r.cycles
             rows.append([block, f"{per_cycle[block]:.3e}", r.final_blocks])
         ratio = per_cycle[32] / per_cycle[16]
@@ -55,8 +54,8 @@ def test_fig1b_gpu_vs_cpu(benchmark, save_report, scale):
         rows = []
         for block in BLOCKS:
             p = _params(block)
-            gpu = characterize(p, GPU_BEST, scale["ncycles"], scale["warmup"])
-            cpu = characterize(p, CPU_96, scale["ncycles"], scale["warmup"])
+            gpu = Simulation(RunSpec(params=p, config=GPU_BEST, ncycles=scale["ncycles"], warmup=scale["warmup"])).run()
+            cpu = Simulation(RunSpec(params=p, config=CPU_96, ncycles=scale["ncycles"], warmup=scale["warmup"])).run()
             winner = "GPU" if gpu.fom > cpu.fom else "CPU"
             rows.append(
                 [
@@ -83,9 +82,7 @@ def test_fig1c_gpu_utilization(benchmark, save_report, scale):
     def run():
         rows = []
         for block in BLOCKS:
-            r = characterize(
-                _params(block), GPU_1R, scale["ncycles"], scale["warmup"]
-            )
+            r = Simulation(RunSpec(params=_params(block), config=GPU_1R, ncycles=scale["ncycles"], warmup=scale["warmup"])).run()
             rows.append([block, f"{kernel_fraction(r) * 100:.1f}"])
         return render_table(
             ["MeshBlockSize", "GPU busy fraction (%)"],

@@ -9,7 +9,7 @@ CPU with 96 ranks improves up to mesh 128 as under-utilized ranks fill.
 
 from conftest import bench_scale, run_once
 
-from repro.core.characterize import characterize
+from repro.api import RunSpec, Simulation
 from repro.core.report import render_sweep, render_table
 from repro.core.sweeps import mesh_size_sweep
 from repro.driver.execution import ExecutionConfig
@@ -51,14 +51,8 @@ def test_fig4_growth_factors(benchmark, save_report, scale):
 
     def run():
         gpu = CONFIGS["GPU1-1R"]
-        a = characterize(
-            SimulationParams(mesh_size=64, block_size=16, num_levels=3),
-            gpu, scale["ncycles"], scale["warmup"],
-        )
-        b = characterize(
-            SimulationParams(mesh_size=128, block_size=16, num_levels=3),
-            gpu, scale["ncycles"], scale["warmup"],
-        )
+        a = Simulation(RunSpec(params=SimulationParams(mesh_size=64, block_size=16, num_levels=3), config=gpu, ncycles=scale["ncycles"], warmup=scale["warmup"])).run()
+        b = Simulation(RunSpec(params=SimulationParams(mesh_size=128, block_size=16, num_levels=3), config=gpu, ncycles=scale["ncycles"], warmup=scale["warmup"])).run()
         rows = [
             [
                 "communicated cells",

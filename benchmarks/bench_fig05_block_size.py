@@ -9,7 +9,8 @@ grows 97.63 s (B32) -> 257.21 s (B16) -> 3023 s (B8), i.e. 2.6x then 11.8x.
 
 from conftest import bench_scale, run_once
 
-from repro.core.characterize import characterize, comm_to_comp_ratio
+from repro.api import RunSpec, Simulation
+from repro.core.characterize import comm_to_comp_ratio
 from repro.core.report import render_sweep, render_table
 from repro.core.sweeps import block_size_sweep
 from repro.driver.execution import ExecutionConfig
@@ -53,10 +54,7 @@ def test_fig5_comm_comp_ratios(benchmark, save_report, scale):
         gpu = CONFIGS["GPU1-1R"]
         results = {}
         for block in (8, 16, 32):
-            results[block] = characterize(
-                SimulationParams(mesh_size=MESH, block_size=block, num_levels=3),
-                gpu, scale["ncycles"], scale["warmup"],
-            )
+            results[block] = Simulation(RunSpec(params=SimulationParams(mesh_size=MESH, block_size=block, num_levels=3), config=gpu, ncycles=scale["ncycles"], warmup=scale["warmup"])).run()
         r32, r16, r8 = results[32], results[16], results[8]
         comm_growth = r16.cells_communicated / r32.cells_communicated
         update_drop = r32.cell_updates / r16.cell_updates

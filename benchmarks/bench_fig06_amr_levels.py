@@ -8,7 +8,8 @@ cells grow 1.4x / 2.7x while updates grow only 1.2x / 2.0x.
 
 from conftest import bench_scale, run_once
 
-from repro.core.characterize import characterize, kernel_fraction
+from repro.api import RunSpec, Simulation
+from repro.core.characterize import kernel_fraction
 from repro.core.report import render_sweep, render_table
 from repro.core.sweeps import amr_level_sweep
 from repro.driver.execution import ExecutionConfig
@@ -48,10 +49,7 @@ def test_fig6_kernel_fractions_and_growth(benchmark, save_report, scale):
         gpu = CONFIGS["GPU1-1R"]
         results = {}
         for lvl in (1, 2, 3):
-            results[lvl] = characterize(
-                SimulationParams(mesh_size=MESH, block_size=16, num_levels=lvl),
-                gpu, scale["ncycles"], scale["warmup"],
-            )
+            results[lvl] = Simulation(RunSpec(params=SimulationParams(mesh_size=MESH, block_size=16, num_levels=lvl), config=gpu, ncycles=scale["ncycles"], warmup=scale["warmup"])).run()
         paper_fracs = {1: 31.2, 2: 23.4, 3: 17.9}
         rows = []
         for lvl in (1, 2, 3):
@@ -81,10 +79,7 @@ def test_fig6_block8_comm_growth(benchmark, save_report, scale):
         gpu = CONFIGS["GPU1-1R"]
         results = {}
         for lvl in (1, 2, 3):
-            results[lvl] = characterize(
-                SimulationParams(mesh_size=MESH, block_size=8, num_levels=lvl),
-                gpu, scale["ncycles"], scale["warmup"],
-            )
+            results[lvl] = Simulation(RunSpec(params=SimulationParams(mesh_size=MESH, block_size=8, num_levels=lvl), config=gpu, ncycles=scale["ncycles"], warmup=scale["warmup"])).run()
         base = results[1]
         rows = []
         paper = {2: ("1.4x", "1.2x"), 3: ("2.7x", "2.0x")}

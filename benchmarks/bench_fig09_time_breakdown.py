@@ -7,7 +7,7 @@ GPU shrink the serial share; CPU runs are far more balanced.
 
 from conftest import bench_scale, run_once
 
-from repro.core.characterize import characterize
+from repro.api import RunSpec, Simulation
 from repro.core.report import render_table
 from repro.driver.execution import ExecutionConfig
 from repro.driver.params import SimulationParams
@@ -32,7 +32,7 @@ def test_fig9_kernel_vs_serial(benchmark, save_report, scale):
     def run():
         rows = []
         for name, config in CONFIGS:
-            r = characterize(base, config, scale["ncycles"], scale["warmup"])
+            r = Simulation(RunSpec(params=base, config=config, ncycles=scale["ncycles"], warmup=scale["warmup"])).run()
             ratio = r.serial_seconds / max(r.kernel_seconds, 1e-12)
             rows.append(
                 [

@@ -8,7 +8,7 @@ with ranks; 12 ranks reach 75.5 GB, close to the 80 GB HBM capacity.
 
 from conftest import bench_scale, run_once
 
-from repro.core.characterize import characterize
+from repro.api import RunSpec, Simulation
 from repro.core.report import render_table
 from repro.driver.execution import ExecutionConfig
 from repro.driver.params import SimulationParams
@@ -27,7 +27,7 @@ def test_fig10_memory_breakdown(benchmark, save_report, scale):
             config = ExecutionConfig(
                 backend="gpu", num_gpus=1, ranks_per_gpu=ranks
             )
-            r = characterize(base, config, scale["ncycles"], scale["warmup"])
+            r = Simulation(RunSpec(params=base, config=config, ncycles=scale["ncycles"], warmup=scale["warmup"])).run()
             m = r.memory_breakdown
             kokkos = (m["kokkos_mesh"] + m["kokkos_aux"]) / 2**30
             mpi = (m["mpi_buffers"] + m["mpi_driver"]) / 2**30

@@ -9,7 +9,7 @@ dominating at 16 ranks and shrinking with core count.
 
 from conftest import bench_scale, run_once
 
-from repro.core.characterize import characterize
+from repro.api import RunSpec, Simulation
 from repro.core.report import render_table
 from repro.driver.execution import ExecutionConfig
 from repro.driver.params import SimulationParams
@@ -45,7 +45,7 @@ def test_fig11_function_shares(benchmark, save_report, scale):
 
     def run():
         results = {
-            name: characterize(base, cfg, scale["ncycles"], scale["warmup"])
+            name: Simulation(RunSpec(params=base, config=cfg, ncycles=scale["ncycles"], warmup=scale["warmup"])).run()
             for name, cfg in CONFIGS
         }
         headers = ["function"] + [name for name, _ in CONFIGS]

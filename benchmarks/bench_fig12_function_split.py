@@ -7,7 +7,7 @@ closes the gap; CPU runs are kernel-dominated per function.
 
 from conftest import bench_scale, run_once
 
-from repro.core.characterize import characterize
+from repro.api import RunSpec, Simulation
 from repro.core.report import render_table
 from repro.driver.execution import ExecutionConfig
 from repro.driver.params import SimulationParams
@@ -36,7 +36,7 @@ def test_fig12_serial_vs_kernel_by_function(benchmark, save_report, scale):
 
     def run():
         results = {
-            name: characterize(base, cfg, scale["ncycles"], scale["warmup"])
+            name: Simulation(RunSpec(params=base, config=cfg, ncycles=scale["ncycles"], warmup=scale["warmup"])).run()
             for name, cfg in CONFIGS
         }
         headers = ["function"]

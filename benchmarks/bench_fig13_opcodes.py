@@ -8,7 +8,7 @@ from ~63% (B32) to ~52% (B16).
 
 from conftest import bench_scale, run_once
 
-from repro.core.characterize import characterize
+from repro.api import RunSpec, Simulation
 from repro.core.opcode_analysis import opcode_breakdown
 from repro.core.report import render_table
 from repro.driver.execution import ExecutionConfig
@@ -25,12 +25,7 @@ def test_fig13_opcode_distribution(benchmark, save_report, scale):
         rows = []
         shares = {}
         for block in (16, 32):
-            r = characterize(
-                SimulationParams(mesh_size=MESH, block_size=block, num_levels=3),
-                CPU_16,
-                scale["ncycles"],
-                scale["warmup"],
-            )
+            r = Simulation(RunSpec(params=SimulationParams(mesh_size=MESH, block_size=block, num_levels=3), config=CPU_16, ncycles=scale["ncycles"], warmup=scale["warmup"])).run()
             b = opcode_breakdown(r)
             shares[block] = b
             for part, mix in (

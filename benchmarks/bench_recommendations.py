@@ -7,7 +7,7 @@ and the matching paper recommendations.
 
 from conftest import bench_scale, run_once
 
-from repro.core.characterize import characterize
+from repro.api import RunSpec, Simulation
 from repro.core.recommendations import render_recommendations
 from repro.driver.execution import ExecutionConfig
 from repro.driver.params import SimulationParams
@@ -18,12 +18,7 @@ MESH = 64 if SCALE["quick"] else 128
 
 def test_bottleneck_advisor_gpu_1r(benchmark, save_report, scale):
     def run():
-        result = characterize(
-            SimulationParams(mesh_size=MESH, block_size=8, num_levels=3),
-            ExecutionConfig(backend="gpu", num_gpus=1, ranks_per_gpu=1),
-            scale["ncycles"],
-            scale["warmup"],
-        )
+        result = Simulation(RunSpec(params=SimulationParams(mesh_size=MESH, block_size=8, num_levels=3), config=ExecutionConfig(backend="gpu", num_gpus=1, ranks_per_gpu=1), ncycles=scale["ncycles"], warmup=scale["warmup"])).run()
         return render_recommendations(result)
 
     save_report("recommendations_gpu1r", run_once(benchmark, run))
@@ -31,12 +26,7 @@ def test_bottleneck_advisor_gpu_1r(benchmark, save_report, scale):
 
 def test_bottleneck_advisor_best_rank(benchmark, save_report, scale):
     def run():
-        result = characterize(
-            SimulationParams(mesh_size=MESH, block_size=8, num_levels=3),
-            ExecutionConfig(backend="gpu", num_gpus=1, ranks_per_gpu=12),
-            scale["ncycles"],
-            scale["warmup"],
-        )
+        result = Simulation(RunSpec(params=SimulationParams(mesh_size=MESH, block_size=8, num_levels=3), config=ExecutionConfig(backend="gpu", num_gpus=1, ranks_per_gpu=12), ncycles=scale["ncycles"], warmup=scale["warmup"])).run()
         return render_recommendations(result)
 
     save_report("recommendations_gpu12r", run_once(benchmark, run))

@@ -9,7 +9,7 @@ costs two CPU nodes 1.22x but two GPU nodes 3.92x.
 
 from conftest import bench_scale, run_once
 
-from repro.core.characterize import characterize
+from repro.api import RunSpec, Simulation
 from repro.core.report import render_table
 from repro.core.sweeps import multinode_comparison
 from repro.driver.execution import ExecutionConfig
@@ -64,9 +64,7 @@ def test_sec5_block_size_drop_two_nodes(benchmark, save_report, scale):
                 params = SimulationParams(
                     mesh_size=MESH, block_size=block, num_levels=3
                 )
-                results[(name, block)] = characterize(
-                    params, config, scale["ncycles"], scale["warmup"]
-                )
+                results[(name, block)] = Simulation(RunSpec(params=params, config=config, ncycles=scale["ncycles"], warmup=scale["warmup"])).run()
         cpu_drop = results[("CPU", 32)].fom / results[("CPU", 8)].fom
         gpu_drop = results[("GPU", 32)].fom / results[("GPU", 8)].fom
         rows = [
@@ -104,9 +102,7 @@ def test_sec5_level_drop_two_nodes(benchmark, save_report, scale):
                 params = SimulationParams(
                     mesh_size=mesh, block_size=16, num_levels=lvl
                 )
-                results[(name, lvl)] = characterize(
-                    params, config, scale["ncycles"], scale["warmup"]
-                )
+                results[(name, lvl)] = Simulation(RunSpec(params=params, config=config, ncycles=scale["ncycles"], warmup=scale["warmup"])).run()
         cpu_drop = results[("CPU", 1)].fom / results[("CPU", 3)].fom
         gpu_drop = results[("GPU", 1)].fom / results[("GPU", 3)].fom
         rows = [

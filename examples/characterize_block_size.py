@@ -8,7 +8,8 @@ because communication and serial block management swamp the device.
 Run:  python examples/characterize_block_size.py
 """
 
-from repro.core.characterize import characterize, comm_to_comp_ratio, kernel_fraction
+from repro.api import RunSpec, Simulation
+from repro.core.characterize import comm_to_comp_ratio, kernel_fraction
 from repro.core.report import render_table
 from repro.driver.execution import ExecutionConfig
 from repro.driver.params import SimulationParams
@@ -22,8 +23,8 @@ def main() -> None:
     rows = []
     for block in (8, 16, 32):
         params = SimulationParams(mesh_size=MESH, block_size=block, num_levels=3)
-        g = characterize(params, gpu_best, ncycles=3, warmup=2)
-        c = characterize(params, cpu, ncycles=3, warmup=2)
+        g = Simulation(RunSpec(params=params, config=gpu_best, ncycles=3, warmup=2)).run()
+        c = Simulation(RunSpec(params=params, config=cpu, ncycles=3, warmup=2)).run()
         rows.append(
             [
                 block,

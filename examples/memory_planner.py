@@ -10,7 +10,7 @@ Run:  python examples/memory_planner.py
 
 from dataclasses import replace
 
-from repro.core.characterize import characterize
+from repro.api import RunSpec, Simulation
 from repro.core.report import render_table
 from repro.driver.execution import ExecutionConfig, OptimizationFlags
 from repro.driver.params import SimulationParams
@@ -26,7 +26,7 @@ def sweep(params, flags, label):
         config = ExecutionConfig(
             backend="gpu", num_gpus=1, ranks_per_gpu=r, optimizations=flags
         )
-        res = characterize(params, config, ncycles=2, warmup=2)
+        res = Simulation(RunSpec(params=params, config=config, ncycles=2, warmup=2)).run()
         status = "OOM" if res.oom else f"{res.fom:.3e}"
         rows.append(
             [label, r, status, f"{res.device_memory_peak / 2**30:.1f}"]

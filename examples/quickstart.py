@@ -9,15 +9,13 @@ reports what the same run would cost on an H100.
 Run:  python examples/quickstart.py
 """
 
+from repro.api import RunSpec, Simulation, build_execution_config, build_simulation_params
 from repro.core.report import render_breakdown, render_table
-from repro.driver.driver import ParthenonDriver
-from repro.driver.execution import ExecutionConfig
-from repro.driver.params import SimulationParams
 from repro.solver.initial_conditions import gaussian_blob
 
 
 def main() -> None:
-    params = SimulationParams(
+    params = build_simulation_params(
         ndim=2,
         mesh_size=64,
         block_size=8,
@@ -26,16 +24,18 @@ def main() -> None:
         reconstruction="plm",  # 2 ghost cells -> fast small blocks
         cfl=0.4,
     )
-    config = ExecutionConfig(
+    config = build_execution_config(
         backend="gpu", num_gpus=1, ranks_per_gpu=1, mode="numeric"
     )
-    driver = ParthenonDriver(
-        params, config, initial_conditions=gaussian_blob
+    sim = Simulation(
+        RunSpec(params=params, config=config, ncycles=8, warmup=0),
+        initial_conditions=gaussian_blob,
     )
+    driver = sim.driver
     print(f"mesh {params.mesh_size}^2, blocks of {params.block_size}^2, "
           f"{params.num_levels} AMR levels, {driver.mesh.num_blocks} initial blocks")
 
-    result = driver.run(ncycles=8)
+    result = sim.run()
 
     rows = []
     for h in result.history:

@@ -18,6 +18,13 @@ from repro.driver.params import SimulationParams
 from repro.driver.execution import ExecutionConfig, OptimizationFlags
 from repro.driver.driver import ParthenonDriver, RunResult
 from repro.core.characterize import characterize
+from repro.api import (
+    RunSpec,
+    Simulation,
+    build_execution_config,
+    build_optimization_flags,
+    build_simulation_params,
+)
 
 __all__ = [
     "SimulationParams",
@@ -25,6 +32,11 @@ __all__ = [
     "OptimizationFlags",
     "ParthenonDriver",
     "RunResult",
+    "RunSpec",
+    "Simulation",
+    "build_execution_config",
+    "build_optimization_flags",
+    "build_simulation_params",
     "characterize",
     "__version__",
 ]

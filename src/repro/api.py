@@ -1,0 +1,334 @@
+"""The typed front door: ``RunSpec`` + ``Simulation``.
+
+Every way of running one Parthenon-VIBE configuration — CLI, sweeps,
+campaigns, benchmarks, examples — goes through this module:
+
+* :class:`RunSpec` is the single serializable description of a run
+  (deck-expressible parameters + platform + cycle counts).  It pickles
+  cleanly (the worker-pool requirement), round-trips through the
+  Parthenon deck format, and hashes to a stable content address
+  (:meth:`RunSpec.cache_key`) used by the run cache for resumable
+  campaigns.
+* :class:`Simulation` is the facade that executes a spec:
+  ``Simulation.from_deck(...)``, ``.run()``, ``.result()``.
+* :func:`build_simulation_params` / :func:`build_execution_config` /
+  :func:`build_optimization_flags` are the validating builders — they
+  reject typos in *both* option names and option values with an
+  actionable error listing the valid choices, instead of failing deep in
+  the driver.
+
+Old entry points (``repro.core.characterize.characterize``) remain as
+thin shims that emit :class:`DeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import difflib
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Callable, Dict, Optional, Sequence, Union
+
+from repro import __version__
+from repro.driver.driver import ParthenonDriver, RunResult
+from repro.driver.execution import ExecutionConfig, OptimizationFlags
+from repro.driver.input import parse_input, params_from_input, render_input
+from repro.driver.params import SimulationParams
+
+__all__ = [
+    "ConfigError",
+    "RunSpec",
+    "Simulation",
+    "build_execution_config",
+    "build_optimization_flags",
+    "build_simulation_params",
+    "run",
+]
+
+
+class ConfigError(ValueError):
+    """A run configuration that could never be valid (typo, bad choice)."""
+
+
+#: The string-choice axes and their valid values, shared by the builders
+#: and the CLI so every layer rejects the same typos the same way.
+VALID_CHOICES: Dict[str, Sequence[str]] = {
+    "backend": ("gpu", "cpu"),
+    "mode": ("modeled", "numeric"),
+    "kernel_mode": ("packed", "per_block"),
+    "reconstruction": ("weno5", "plm"),
+    "riemann": ("hll", "llf"),
+}
+
+
+def _suggest(given: str, valid: Sequence[str]) -> str:
+    close = difflib.get_close_matches(given, list(valid), n=1, cutoff=0.5)
+    return f" (did you mean {close[0]!r}?)" if close else ""
+
+
+def _check_choice(option: str, value: object) -> None:
+    valid = VALID_CHOICES[option]
+    if value not in valid:
+        raise ConfigError(
+            f"invalid {option} {value!r}; valid choices: "
+            f"{', '.join(valid)}{_suggest(str(value), valid)}"
+        )
+
+
+def _check_names(kind: str, given: Dict[str, object], valid: Sequence[str]) -> None:
+    for name in given:
+        if name not in valid:
+            raise ConfigError(
+                f"unknown {kind} option {name!r}; valid options: "
+                f"{', '.join(sorted(valid))}{_suggest(name, valid)}"
+            )
+
+
+def build_optimization_flags(**flags: bool) -> OptimizationFlags:
+    """Validating builder for :class:`OptimizationFlags`.
+
+    Accepts only the boolean toggles (the ``*_SPEEDUP`` calibration
+    constants are not settable here) and rejects misspelled flags with a
+    suggestion.
+    """
+    valid = [
+        f.name
+        for f in dataclasses.fields(OptimizationFlags)
+        if isinstance(f.default, bool)
+    ]
+    _check_names("optimization", flags, valid)
+    for name, value in flags.items():
+        if not isinstance(value, bool):
+            raise ConfigError(
+                f"optimization flag {name!r} must be a bool, got {value!r}"
+            )
+    return OptimizationFlags(**flags)
+
+
+def build_execution_config(
+    optimizations: Union[OptimizationFlags, Dict[str, bool], None] = None,
+    **options: object,
+) -> ExecutionConfig:
+    """Validating builder for :class:`ExecutionConfig`.
+
+    One funnel for every caller that assembles a platform configuration:
+    unknown option names and invalid choice values fail *here*, with the
+    valid choices spelled out, rather than deep inside the driver.
+    ``optimizations`` may be an :class:`OptimizationFlags` or a plain
+    dict of flag names (routed through :func:`build_optimization_flags`).
+    """
+    valid = [f.name for f in dataclasses.fields(ExecutionConfig)]
+    valid.remove("optimizations")
+    _check_names("execution", options, valid)
+    for option in ("backend", "mode", "kernel_mode"):
+        if option in options:
+            _check_choice(option, options[option])
+    if isinstance(optimizations, dict):
+        optimizations = build_optimization_flags(**optimizations)
+    elif optimizations is None:
+        optimizations = OptimizationFlags()
+    try:
+        return ExecutionConfig(optimizations=optimizations, **options)
+    except ValueError as exc:  # range errors from __post_init__
+        raise ConfigError(str(exc)) from exc
+
+
+def build_simulation_params(**options: object) -> SimulationParams:
+    """Validating builder for :class:`SimulationParams`."""
+    valid = [f.name for f in dataclasses.fields(SimulationParams)]
+    _check_names("simulation", options, valid)
+    for option in ("reconstruction", "riemann"):
+        if option in options:
+            _check_choice(option, options[option])
+    try:
+        return SimulationParams(**options)
+    except ValueError as exc:
+        raise ConfigError(str(exc)) from exc
+
+
+# --------------------------------------------------------------- RunSpec
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One fully-specified run: what to solve, where, and for how long.
+
+    The unit of work for sweeps and campaigns.  Frozen, hashable,
+    picklable (workers receive a ``RunSpec``, not a bag of kwargs), and
+    deck-round-trippable.  ``label`` is presentation-only and excluded
+    from the cache identity, so relabeling a point never invalidates its
+    cached artifact.
+    """
+
+    params: SimulationParams = SimulationParams()
+    config: ExecutionConfig = ExecutionConfig()
+    ncycles: int = 4
+    warmup: int = 2
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.ncycles < 1:
+            raise ConfigError(f"ncycles must be >= 1, got {self.ncycles}")
+        if self.warmup < 0:
+            raise ConfigError(f"warmup must be >= 0, got {self.warmup}")
+
+    # ------------------------------------------------------------- decks
+
+    def to_deck(self) -> str:
+        """Render as a Parthenon-style input deck (with a ``<campaign>``
+        section carrying the cycle counts and label)."""
+        deck = render_input(self.params, self.config)
+        lines = [
+            "",
+            "<campaign>",
+            f"ncycles = {self.ncycles}",
+            f"warmup = {self.warmup}",
+        ]
+        if self.label:
+            lines.append(f"label = {self.label}")
+        return deck + "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_deck(
+        cls,
+        text: str,
+        ncycles: Optional[int] = None,
+        warmup: Optional[int] = None,
+        label: Optional[str] = None,
+    ) -> "RunSpec":
+        """Parse a deck; explicit arguments override the ``<campaign>``
+        section, which overrides the defaults."""
+        try:
+            params, config = params_from_input(text)
+        except ValueError as exc:  # bad deck values -> one error type
+            raise ConfigError(f"invalid input deck: {exc}") from exc
+        camp = parse_input(text).get("campaign", {})
+        return cls(
+            params=params,
+            config=config,
+            ncycles=int(camp.get("ncycles", 4)) if ncycles is None else ncycles,
+            warmup=int(camp.get("warmup", 2)) if warmup is None else warmup,
+            label=str(camp.get("label", "")) if label is None else label,
+        )
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path], **overrides) -> "RunSpec":
+        return cls.from_deck(Path(path).read_text(), **overrides)
+
+    # ---------------------------------------------------------- identity
+
+    def cache_key(self) -> str:
+        """Content address of this run: a sha256 over the canonical JSON
+        of (deck, full ExecutionConfig including specs/calibration/
+        OptimizationFlags, cycle counts, code version).
+
+        Any field that changes the simulated outcome changes the key;
+        ``label`` does not participate.
+        """
+        payload = {
+            "code_version": __version__,
+            "deck": render_input(self.params, self.config),
+            "params": dataclasses.asdict(self.params),
+            "config": dataclasses.asdict(self.config),
+            "ncycles": self.ncycles,
+            "warmup": self.warmup,
+        }
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def replace(self, **changes) -> "RunSpec":
+        """A copy with fields replaced (``dataclasses.replace`` sugar)."""
+        return replace(self, **changes)
+
+    def describe(self) -> str:
+        base = self.label or (
+            f"mesh{self.params.mesh_size}-block{self.params.block_size}"
+            f"-lv{self.params.num_levels}"
+        )
+        return f"{base} [{self.config.describe()}]"
+
+
+# ------------------------------------------------------------ Simulation
+
+
+class Simulation:
+    """Facade over :class:`ParthenonDriver` for one :class:`RunSpec`.
+
+    ``run()`` executes the spec's warmup + measured cycles and returns
+    the :class:`RunResult`; ``result()`` returns the last result, running
+    first if needed.  The underlying driver stays reachable via
+    ``.driver`` for callers that need mesh/profiler internals.
+    """
+
+    def __init__(
+        self,
+        spec: RunSpec,
+        initial_conditions: Optional[Callable] = None,
+    ) -> None:
+        if not isinstance(spec, RunSpec):
+            raise ConfigError(
+                f"Simulation expects a RunSpec, got {type(spec).__name__}"
+            )
+        self.spec = spec
+        self._initial_conditions = initial_conditions
+        self._driver: Optional[ParthenonDriver] = None
+        self._result: Optional[RunResult] = None
+
+    @classmethod
+    def from_deck(
+        cls,
+        deck: Union[str, Path],
+        initial_conditions: Optional[Callable] = None,
+        **overrides,
+    ) -> "Simulation":
+        """Build from deck text or a deck file path."""
+        if isinstance(deck, Path):
+            spec = RunSpec.from_file(deck, **overrides)
+        elif "\n" in deck or "<" in deck:
+            spec = RunSpec.from_deck(deck, **overrides)
+        else:
+            spec = RunSpec.from_file(deck, **overrides)
+        return cls(spec, initial_conditions=initial_conditions)
+
+    @property
+    def driver(self) -> ParthenonDriver:
+        if self._driver is None:
+            self._driver = ParthenonDriver(
+                self.spec.params,
+                self.spec.config,
+                initial_conditions=self._initial_conditions,
+            )
+        return self._driver
+
+    def run(self) -> RunResult:
+        """Execute the spec and return the result.
+
+        The first call consumes the lazily-built driver (so pre-run
+        inspection of ``.driver`` sees the same mesh the run uses);
+        calling ``run()`` again executes a fresh driver.
+        """
+        if self._result is not None:
+            self._driver = None
+        self._result = self.driver.run(self.spec.ncycles, warmup=self.spec.warmup)
+        return self._result
+
+    def result(self) -> RunResult:
+        """The last run's result, running the simulation first if needed."""
+        if self._result is None:
+            return self.run()
+        return self._result
+
+    def artifact(self) -> dict:
+        """The run-artifact JSON document for this simulation's result."""
+        from repro.orchestration.artifacts import result_to_artifact
+
+        return result_to_artifact(self.spec, self.result())
+
+
+def run(
+    spec: RunSpec, initial_conditions: Optional[Callable] = None
+) -> RunResult:
+    """One-call convenience: execute ``spec`` and return its result."""
+    return Simulation(spec, initial_conditions=initial_conditions).run()

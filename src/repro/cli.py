@@ -6,7 +6,13 @@ Usage::
     python -m repro characterize --mesh 128 --block 16 --levels 3 \
         --backend gpu --gpus 1 --ranks 12 [--cycles N]
     python -m repro sweep {block,mesh,levels,gpu-ranks,cpu-ranks} [options]
+    python -m repro campaign --dir out --mesh 64,96 --block 8,16 \
+        --workers 4            # parallel + resumable; rerun to resume
     python -m repro deck --mesh 128 --block 16 ...   # emit an input deck
+
+Everything routes through :mod:`repro.api` (``RunSpec`` + ``Simulation``
++ the validating builders), so a typo like ``--kernel-mode paked`` fails
+up front with the valid choices listed.
 """
 
 from __future__ import annotations
@@ -15,12 +21,22 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.core.characterize import characterize, kernel_fraction
-from repro.core.report import render_breakdown, render_memory, render_sweep, render_table
-from repro.driver.driver import ParthenonDriver
-from repro.driver.execution import ExecutionConfig
-from repro.driver.input import load_input, render_input
-from repro.driver.params import SimulationParams
+from repro.api import (
+    ConfigError,
+    RunSpec,
+    Simulation,
+    build_execution_config,
+    build_simulation_params,
+)
+from repro.core.characterize import kernel_fraction
+from repro.core.report import (
+    render_breakdown,
+    render_campaign_summary,
+    render_memory,
+    render_sweep,
+    render_table,
+)
+from repro.driver.input import render_input
 
 
 def _add_config_args(p: argparse.ArgumentParser) -> None:
@@ -48,34 +64,37 @@ def _add_config_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _build_config(args, **overrides):
+    options = dict(
+        backend=args.backend,
+        num_nodes=args.nodes,
+        mode=getattr(args, "mode", "modeled"),
+        kernel_mode=getattr(args, "kernel_mode", "packed"),
+    )
+    if args.backend == "gpu":
+        options.update(num_gpus=args.gpus, ranks_per_gpu=args.ranks)
+    else:
+        options.update(cpu_ranks=args.ranks)
+    options.update(overrides)
+    return build_execution_config(**options)
+
+
 def _build(args) -> tuple:
-    params = SimulationParams(
+    params = build_simulation_params(
         ndim=args.ndim,
         mesh_size=args.mesh,
         block_size=args.block,
         num_levels=args.levels,
         num_scalars=args.scalars,
     )
-    mode = getattr(args, "mode", "modeled")
-    kernel_mode = getattr(args, "kernel_mode", "packed")
-    if args.backend == "gpu":
-        config = ExecutionConfig(
-            backend="gpu",
-            num_gpus=args.gpus,
-            ranks_per_gpu=args.ranks,
-            num_nodes=args.nodes,
-            mode=mode,
-            kernel_mode=kernel_mode,
-        )
-    else:
-        config = ExecutionConfig(
-            backend="cpu",
-            cpu_ranks=args.ranks,
-            num_nodes=args.nodes,
-            mode=mode,
-            kernel_mode=kernel_mode,
-        )
-    return params, config
+    return params, _build_config(args)
+
+
+def _spec(args) -> RunSpec:
+    params, config = _build(args)
+    return RunSpec(
+        params=params, config=config, ncycles=args.cycles, warmup=args.warmup
+    )
 
 
 def _print_result(result) -> None:
@@ -105,25 +124,22 @@ def _print_result(result) -> None:
 
 
 def cmd_run(args) -> int:
-    params, config = load_input(args.input)
-    driver = ParthenonDriver(params, config)
-    result = driver.run(args.cycles, warmup=args.warmup)
-    _print_result(result)
+    sim = Simulation.from_deck(
+        args.input, ncycles=args.cycles, warmup=args.warmup
+    )
+    _print_result(sim.run())
     return 0
 
 
 def cmd_characterize(args) -> int:
     import json
 
-    from repro.driver.driver import ParthenonDriver
-
-    params, config = _build(args)
-    driver = ParthenonDriver(params, config)
-    result = driver.run(args.cycles, warmup=args.warmup)
+    sim = Simulation(_spec(args))
+    result = sim.run()
     _print_result(result)
     if getattr(args, "trace", None):
         with open(args.trace, "w") as f:
-            json.dump(driver.prof.to_chrome_trace(), f)
+            json.dump(sim.driver.prof.to_chrome_trace(), f)
         print(f"\nchrome trace written to {args.trace} "
               "(open in chrome://tracing or Perfetto)")
     return 0
@@ -138,8 +154,7 @@ def cmd_deck(args) -> int:
 def cmd_recommend(args) -> int:
     from repro.core.recommendations import render_recommendations
 
-    params, config = _build(args)
-    result = characterize(params, config, args.cycles, args.warmup)
+    result = Simulation(_spec(args)).run()
     print(render_recommendations(result))
     return 0
 
@@ -185,6 +200,87 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def _int_list(raw: str) -> List[int]:
+    try:
+        return [int(v) for v in raw.split(",") if v.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated integers, got {raw!r}"
+        )
+
+
+#: The CI mini-sweep: two mesh sizes x two block sizes at a scale where
+#: each point costs enough for worker-pool parallelism to pay off, and
+#: the two expensive block-8 points are near-equal so LPT scheduling
+#: splits them across workers (~2x on two workers).
+MINI_CAMPAIGN = dict(
+    mesh=[80, 96], block=[8, 16], levels=2, ndim=3, scalars=8,
+    cycles=2, warmup=1,
+)
+
+
+def cmd_campaign(args) -> int:
+    from repro.core.sweeps import grid_specs
+    from repro.orchestration import load_campaign, run_campaign
+
+    if args.report_only:
+        artifacts = load_campaign(args.dir)
+        print(render_campaign_summary(artifacts))
+        return 0
+
+    if args.preset == "mini":
+        preset = MINI_CAMPAIGN
+        mesh_sizes, block_sizes = preset["mesh"], preset["block"]
+        params = build_simulation_params(
+            ndim=preset["ndim"],
+            mesh_size=mesh_sizes[0],
+            block_size=block_sizes[0],
+            num_levels=preset["levels"],
+            num_scalars=preset["scalars"],
+        )
+        config = _build_config(args)
+        ncycles, warmup = preset["cycles"], preset["warmup"]
+    else:
+        mesh_sizes, block_sizes = args.mesh, args.block
+        params = build_simulation_params(
+            ndim=args.ndim,
+            mesh_size=mesh_sizes[0],
+            block_size=block_sizes[0],
+            num_levels=args.levels,
+            num_scalars=args.scalars,
+        )
+        config = _build_config(args)
+        ncycles, warmup = args.cycles, args.warmup
+
+    specs = grid_specs(
+        params, config, mesh_sizes, block_sizes, ncycles=ncycles, warmup=warmup
+    )
+
+    def progress(outcome) -> None:
+        if outcome.from_cache:
+            status = "cached"
+        elif outcome.ok:
+            status = "done"
+        else:
+            status = "FAILED"
+        print(f"  [{status:>6}] {outcome.label}")
+
+    summary = run_campaign(
+        specs,
+        args.dir,
+        workers=args.workers,
+        retries=args.retries,
+        timeout_s=args.timeout,
+        progress=progress,
+    )
+    print()
+    print(render_campaign_summary(summary.artifacts))
+    print()
+    print(f"campaign: {summary.describe()}")
+    print(f"artifacts: {summary.campaign_dir}/points/")
+    return 1 if summary.failed else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -218,6 +314,59 @@ def main(argv: Optional[List[str]] = None) -> int:
     _add_config_args(p_sweep)
     p_sweep.set_defaults(fn=cmd_sweep)
 
+    p_camp = sub.add_parser(
+        "campaign",
+        help="run a mesh x block campaign: parallel workers, per-point "
+        "failure isolation, resumable via the artifact cache",
+    )
+    p_camp.add_argument(
+        "--mesh", type=_int_list, default=[128],
+        help="comma-separated mesh sizes (the campaign's first axis)",
+    )
+    p_camp.add_argument(
+        "--block", type=_int_list, default=[16],
+        help="comma-separated MeshBlock sizes (the second axis)",
+    )
+    p_camp.add_argument("--levels", type=int, default=3, help="#AMR levels")
+    p_camp.add_argument("--ndim", type=int, default=3, choices=(1, 2, 3))
+    p_camp.add_argument("--scalars", type=int, default=8, help="passive scalars")
+    p_camp.add_argument("--backend", choices=("gpu", "cpu"), default="gpu")
+    p_camp.add_argument("--gpus", type=int, default=1)
+    p_camp.add_argument(
+        "--ranks", type=int, default=1, help="ranks per GPU / CPU ranks"
+    )
+    p_camp.add_argument("--nodes", type=int, default=1)
+    p_camp.add_argument("--cycles", type=int, default=3)
+    p_camp.add_argument("--warmup", type=int, default=2)
+    p_camp.add_argument("--mode", choices=("modeled", "numeric"), default="modeled")
+    p_camp.add_argument(
+        "--kernel-mode", choices=("packed", "per_block"), default="packed"
+    )
+    p_camp.add_argument(
+        "--dir", required=True, help="campaign directory (artifacts + cache)"
+    )
+    p_camp.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: os.cpu_count())",
+    )
+    p_camp.add_argument(
+        "--retries", type=int, default=1,
+        help="re-attempts per failing point before recording an error",
+    )
+    p_camp.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-point wall-clock limit in seconds",
+    )
+    p_camp.add_argument(
+        "--preset", choices=("mini",), default=None,
+        help="'mini' = the CI 2x2 mesh x block quick campaign",
+    )
+    p_camp.add_argument(
+        "--report-only", action="store_true",
+        help="render the summary from existing artifacts without running",
+    )
+    p_camp.set_defaults(fn=cmd_campaign)
+
     p_rec = sub.add_parser(
         "recommend", help="rank serial bottlenecks with §VIII advice"
     )
@@ -225,7 +374,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_rec.set_defaults(fn=cmd_recommend)
 
     args = parser.parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -12,7 +12,7 @@ Collectives mirror the two Parthenon uses the paper highlights:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, List, Tuple
 
 
@@ -32,8 +32,14 @@ class MPICounters:
     allreduce_bytes: int = 0
 
     def merge(self, other: "MPICounters") -> None:
-        for name in vars(other):
-            setattr(self, name, getattr(self, name) + getattr(other, name))
+        """Accumulate ``other``'s counters into this one.
+
+        Iterates declared dataclass fields, not ``vars(other)``, so
+        ad-hoc instance attributes (or future non-counter state) can't
+        silently corrupt the merge.
+        """
+        for f in fields(other):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
 
 
 class SimMPI:

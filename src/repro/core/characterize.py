@@ -1,20 +1,51 @@
 """One-call characterization runs, and ratio helpers for the paper's text.
 
-``characterize`` builds a driver, runs N cycles, and returns the
-:class:`~repro.driver.driver.RunResult` with everything the benchmarks
-print.  The helpers compute the derived quantities the paper's prose quotes
-(communication-to-computation ratios, growth factors between
-configurations).
+The run entry point moved to :mod:`repro.api` (``Simulation`` /
+``RunSpec``); :func:`characterize` remains as a thin deprecated shim.
+The ratio helpers compute the derived quantities the paper's prose
+quotes (communication-to-computation ratios, growth factors between
+configurations) and accept either an in-memory
+:class:`~repro.driver.driver.RunResult` or a campaign run-artifact dict
+(:mod:`repro.orchestration.artifacts`), so figures regenerate from a
+campaign directory without re-running anything.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Optional
+import warnings
+from typing import Callable, Mapping, Optional, Union
 
-from repro.driver.driver import ParthenonDriver, RunResult
+from repro.driver.driver import RunResult
 from repro.driver.execution import ExecutionConfig
 from repro.driver.params import SimulationParams
+
+ResultLike = Union[RunResult, Mapping]
+
+#: artifact paths for each RunResult attribute the helpers read
+_ARTIFACT_PATHS = {
+    "fom": ("fom",),
+    "cell_updates": ("communication", "cell_updates"),
+    "cells_communicated": ("communication", "cells_communicated"),
+    "remote_messages": ("communication", "remote_messages"),
+    "wall_seconds": ("timings", "wall_seconds"),
+    "kernel_seconds": ("timings", "kernel_seconds"),
+    "serial_seconds": ("timings", "serial_seconds"),
+    "zone_cycles": ("zone_cycles",),
+    "cycles": ("cycles",),
+    "device_memory_peak": ("memory", "device_peak_bytes"),
+    "final_blocks": ("blocks", "final"),
+    "max_blocks": ("blocks", "max"),
+}
+
+
+def metric(result: ResultLike, attr: str):
+    """Read one metric off a :class:`RunResult` *or* a run-artifact dict."""
+    if isinstance(result, Mapping):
+        node = result
+        for step in _ARTIFACT_PATHS[attr]:
+            node = node[step]
+        return node
+    return getattr(result, attr)
 
 
 def characterize(
@@ -24,38 +55,45 @@ def characterize(
     warmup: int = 2,
     initial_conditions: Optional[Callable] = None,
 ) -> RunResult:
-    """Run one configuration on the simulated platform and report.
+    """Deprecated shim: use :class:`repro.api.Simulation` instead.
 
-    ``warmup`` cycles develop the refinement front before measurement so
-    the reported per-cycle rates reflect the steady-state block population.
+    ``Simulation(RunSpec(params=..., config=..., ncycles=..., warmup=...))
+    .run()`` is the supported spelling; this wrapper survives only so
+    pre-campaign scripts keep working.
     """
+    warnings.warn(
+        "repro.core.characterize.characterize() is deprecated; build a "
+        "repro.api.RunSpec and call repro.api.Simulation(spec).run()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.api import RunSpec, Simulation
+
     if ncycles < 1:
         raise ValueError(f"ncycles must be >= 1, got {ncycles}")
-    driver = ParthenonDriver(
-        params, config, initial_conditions=initial_conditions
-    )
-    return driver.run(ncycles, warmup=warmup)
+    spec = RunSpec(params=params, config=config, ncycles=ncycles, warmup=warmup)
+    return Simulation(spec, initial_conditions=initial_conditions).run()
 
 
-def comm_to_comp_ratio(result: RunResult) -> float:
+def comm_to_comp_ratio(result: ResultLike) -> float:
     """Communicated cells per cell update (Section IV-B's 10.9x metric)."""
-    if result.cell_updates == 0:
+    if metric(result, "cell_updates") == 0:
         return float("inf")
-    return result.cells_communicated / result.cell_updates
+    return metric(result, "cells_communicated") / metric(result, "cell_updates")
 
 
-def growth_factor(base: RunResult, other: RunResult, attr: str) -> float:
+def growth_factor(base: ResultLike, other: ResultLike, attr: str) -> float:
     """``other.attr / base.attr`` — the paper's "grows by N x" statements."""
-    b = getattr(base, attr)
-    o = getattr(other, attr)
+    b = metric(base, attr)
+    o = metric(other, attr)
     if b == 0:
         raise ValueError(f"base {attr} is zero")
     return o / b
 
 
-def kernel_fraction(result: RunResult) -> float:
+def kernel_fraction(result: ResultLike) -> float:
     """Fraction of wall time inside Kokkos kernels (Section IV-C's
     31.2% / 23.4% / 17.9% series)."""
-    if result.wall_seconds == 0:
+    if metric(result, "wall_seconds") == 0:
         return 0.0
-    return result.kernel_seconds / result.wall_seconds
+    return metric(result, "kernel_seconds") / metric(result, "wall_seconds")

@@ -2,12 +2,14 @@
 
 The benchmark harness prints these so ``pytest benchmarks/ --benchmark-only``
 regenerates every figure/table as readable rows, mirroring what the paper
-plots.
+plots.  The ``render_campaign_*`` family consumes the persisted run
+artifacts of a campaign directory (:mod:`repro.orchestration`) instead
+of in-memory results, so figures regenerate incrementally from disk.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Mapping, Sequence
 
 from repro.core.microarch import MicroarchTable
 from repro.core.sweeps import SweepPoint
@@ -98,6 +100,72 @@ def render_microarch(table: MicroarchTable, title: str) -> str:
                 f"{m.arithmetic_intensity:.1f}",
             ]
         )
+    return render_table(headers, rows, title=title)
+
+
+def render_campaign_summary(
+    artifacts: Iterable[Mapping], title: str = "Campaign summary"
+) -> str:
+    """One row per persisted point artifact: the campaign's ledger.
+
+    Every quantity shown is simulated (deterministic), so the same
+    campaign always renders the same summary — the CI mini-sweep diffs
+    this against a committed golden file.
+    """
+    headers = ["point", "status", "FOM", "wall_s", "kernel_%", "blocks"]
+    rows: List[List[object]] = []
+    for art in artifacts:
+        label = art.get("label") or art.get("cache_key", "")[:12]
+        if art.get("status") != "ok":
+            err = art.get("error", {})
+            rows.append([label, f"error:{err.get('type', '?')}", "-", "-", "-", "-"])
+            continue
+        timings = art["timings"]
+        wall = timings["wall_seconds"]
+        kfrac = 100.0 * timings["kernel_seconds"] / wall if wall else 0.0
+        rows.append(
+            [
+                label,
+                "OOM" if art.get("oom") else "ok",
+                fmt_fom(art["fom"]),
+                f"{wall:.3f}",
+                f"{kfrac:.1f}",
+                art["blocks"]["final"],
+            ]
+        )
+    return render_table(headers, rows, title=title)
+
+
+def render_campaign_sweep(
+    artifacts: Iterable[Mapping], x_name: str, title: str
+) -> str:
+    """Regroup campaign artifacts labeled ``<series>/<axis>=<value>``
+    into the FOM-vs-x figure layout (Figs. 4, 5, 6) — the artifact-backed
+    twin of :func:`render_sweep`."""
+    series: Dict[str, Dict[float, str]] = {}
+    xs = set()
+    for art in artifacts:
+        label = art.get("label", "")
+        name, _, axis_part = label.rpartition("/")
+        try:
+            x = float(axis_part.rsplit("=", 1)[1])
+        except (IndexError, ValueError):
+            name, x = label, 0.0
+        name = name or label
+        xs.add(x)
+        if art.get("status") != "ok":
+            cell = "ERR"
+        elif art.get("oom"):
+            cell = "OOM"
+        else:
+            cell = fmt_fom(art["fom"])
+        series.setdefault(name, {})[x] = cell
+    headers = [x_name] + list(series)
+    rows = []
+    for x in sorted(xs):
+        row: List[object] = [int(x) if float(x).is_integer() else x]
+        row += [series[name].get(x, "-") for name in series]
+        rows.append(row)
     return render_table(headers, rows, title=title)
 
 

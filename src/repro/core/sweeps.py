@@ -4,6 +4,11 @@ Each sweep returns ``SweepPoint`` rows — one per configuration — carrying
 the full :class:`RunResult`, ready for the benchmark harness to print as the
 corresponding figure's series.  Cycle counts are small (the FOM is a steady
 per-cycle rate) and configurable for quick runs.
+
+Every point is a :class:`repro.api.RunSpec`: the ``*_specs`` builders
+expose the same sweeps as spec lists for the parallel, resumable
+campaign runner (:func:`repro.orchestration.run_campaign`), and the
+classic ``*_sweep`` functions execute those specs inline.
 """
 
 from __future__ import annotations
@@ -11,10 +16,17 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence
 
-from repro.core.characterize import characterize
+from repro.api import RunSpec, Simulation
 from repro.driver.driver import RunResult
 from repro.driver.execution import ExecutionConfig
 from repro.driver.params import SimulationParams
+
+#: Sweep axis name -> SimulationParams field it varies.
+SWEEP_AXES = {
+    "mesh": "mesh_size",
+    "block": "block_size",
+    "levels": "num_levels",
+}
 
 
 @dataclass
@@ -33,13 +45,100 @@ class SweepPoint:
         return self.result.fom
 
 
-def _run(params: SimulationParams, config: ExecutionConfig, ncycles: int):
-    result = characterize(params, config, ncycles)
-    return result, result.oom
+def _run_spec(spec: RunSpec) -> SweepPoint:
+    result = Simulation(spec).run()
+    x = float(spec.label.rsplit("=", 1)[1]) if "=" in spec.label else 0.0
+    name = spec.label.rsplit("/", 1)[0]
+    return SweepPoint(label=name, x=x, result=result, oom=result.oom)
 
 
 GPU_1R = ExecutionConfig(backend="gpu", num_gpus=1, ranks_per_gpu=1)
 CPU_96R = ExecutionConfig(backend="cpu", cpu_ranks=96)
+
+
+# ------------------------------------------------------------ spec builders
+
+
+def axis_specs(
+    base: SimulationParams,
+    configs: Dict[str, ExecutionConfig],
+    axis: str,
+    values: Sequence[int],
+    ncycles: int = 3,
+    warmup: int = 2,
+) -> List[RunSpec]:
+    """Specs for one paper sweep: ``axis`` in :data:`SWEEP_AXES`, one
+    point per (config, value).  Labels are ``<series>/<axis>=<value>``
+    so campaign artifacts regroup into figure series."""
+    if axis not in SWEEP_AXES:
+        raise ValueError(
+            f"unknown sweep axis {axis!r}; valid axes: "
+            f"{', '.join(sorted(SWEEP_AXES))}"
+        )
+    field = SWEEP_AXES[axis]
+    specs = []
+    for value in values:
+        params = replace(base, **{field: value})
+        for name, config in configs.items():
+            specs.append(
+                RunSpec(
+                    params=params,
+                    config=config,
+                    ncycles=ncycles,
+                    warmup=warmup,
+                    label=f"{name}/{axis}={value}",
+                )
+            )
+    return specs
+
+
+def grid_specs(
+    base: SimulationParams,
+    config: ExecutionConfig,
+    mesh_sizes: Sequence[int],
+    block_sizes: Sequence[int],
+    ncycles: int = 3,
+    warmup: int = 2,
+) -> List[RunSpec]:
+    """The mesh x block cartesian campaign (the CI mini-sweep shape)."""
+    specs = []
+    for mesh in mesh_sizes:
+        for block in block_sizes:
+            params = replace(base, mesh_size=mesh, block_size=block)
+            specs.append(
+                RunSpec(
+                    params=params,
+                    config=config,
+                    ncycles=ncycles,
+                    warmup=warmup,
+                    label=f"mesh{mesh}-block{block}",
+                )
+            )
+    return specs
+
+
+def series_from_points(points: Sequence[SweepPoint]) -> Dict[str, List[SweepPoint]]:
+    out: Dict[str, List[SweepPoint]] = {}
+    for p in points:
+        out.setdefault(p.label, []).append(p)
+    return out
+
+
+# -------------------------------------------------------- classic sweeps
+
+
+def _axis_sweep(
+    base: SimulationParams,
+    configs: Dict[str, ExecutionConfig],
+    axis: str,
+    values: Sequence[int],
+    ncycles: int,
+) -> Dict[str, List[SweepPoint]]:
+    out: Dict[str, List[SweepPoint]] = {name: [] for name in configs}
+    for spec in axis_specs(base, configs, axis, values, ncycles=ncycles):
+        point = _run_spec(spec)
+        out[point.label].append(point)
+    return out
 
 
 def mesh_size_sweep(
@@ -49,15 +148,7 @@ def mesh_size_sweep(
     ncycles: int = 3,
 ) -> Dict[str, List[SweepPoint]]:
     """Fig. 4: static scaling over mesh size (block 16, 3 levels)."""
-    out: Dict[str, List[SweepPoint]] = {name: [] for name in configs}
-    for mesh in mesh_sizes:
-        params = replace(base, mesh_size=mesh)
-        for name, config in configs.items():
-            result, oom = _run(params, config, ncycles)
-            out[name].append(
-                SweepPoint(label=name, x=mesh, result=result, oom=oom)
-            )
-    return out
+    return _axis_sweep(base, configs, "mesh", mesh_sizes, ncycles)
 
 
 def block_size_sweep(
@@ -67,15 +158,7 @@ def block_size_sweep(
     ncycles: int = 3,
 ) -> Dict[str, List[SweepPoint]]:
     """Fig. 5 (and Fig. 1b/1c): performance vs MeshBlockSize."""
-    out: Dict[str, List[SweepPoint]] = {name: [] for name in configs}
-    for block in block_sizes:
-        params = replace(base, block_size=block)
-        for name, config in configs.items():
-            result, oom = _run(params, config, ncycles)
-            out[name].append(
-                SweepPoint(label=name, x=block, result=result, oom=oom)
-            )
-    return out
+    return _axis_sweep(base, configs, "block", block_sizes, ncycles)
 
 
 def amr_level_sweep(
@@ -85,15 +168,7 @@ def amr_level_sweep(
     ncycles: int = 3,
 ) -> Dict[str, List[SweepPoint]]:
     """Fig. 6: performance vs #AMR Levels (mesh 128, block 16)."""
-    out: Dict[str, List[SweepPoint]] = {name: [] for name in configs}
-    for lvl in levels:
-        params = replace(base, num_levels=lvl)
-        for name, config in configs.items():
-            result, oom = _run(params, config, ncycles)
-            out[name].append(
-                SweepPoint(label=name, x=lvl, result=result, oom=oom)
-            )
-    return out
+    return _axis_sweep(base, configs, "levels", levels, ncycles)
 
 
 def cpu_rank_sweep(
@@ -105,8 +180,11 @@ def cpu_rank_sweep(
     out: List[SweepPoint] = []
     for r in ranks:
         config = ExecutionConfig(backend="cpu", cpu_ranks=r)
-        result, oom = _run(base, config, ncycles)
-        out.append(SweepPoint(label=f"CPU-{r}R", x=r, result=result, oom=oom))
+        spec = RunSpec(params=base, config=config, ncycles=ncycles)
+        result = Simulation(spec).run()
+        out.append(
+            SweepPoint(label=f"CPU-{r}R", x=r, result=result, oom=result.oom)
+        )
     return out
 
 
@@ -122,9 +200,12 @@ def gpu_rank_sweep(
         config = ExecutionConfig(
             backend="gpu", num_gpus=num_gpus, ranks_per_gpu=r
         )
-        result, oom = _run(base, config, ncycles)
+        spec = RunSpec(params=base, config=config, ncycles=ncycles)
+        result = Simulation(spec).run()
         out.append(
-            SweepPoint(label=f"{num_gpus}GPU-{r}R", x=r, result=result, oom=oom)
+            SweepPoint(
+                label=f"{num_gpus}GPU-{r}R", x=r, result=result, oom=result.oom
+            )
         )
     return out
 
@@ -158,8 +239,11 @@ def multinode_comparison(
         )
         cpu = ExecutionConfig(backend="cpu", cpu_ranks=96, num_nodes=n)
         for name, config in (("GPU", gpu), ("CPU", cpu)):
-            result, oom = _run(base, config, ncycles)
+            spec = RunSpec(params=base, config=config, ncycles=ncycles)
+            result = Simulation(spec).run()
             out[name].append(
-                SweepPoint(label=f"{name}-{n}node", x=n, result=result, oom=oom)
+                SweepPoint(
+                    label=f"{name}-{n}node", x=n, result=result, oom=result.oom
+                )
             )
     return out

@@ -19,6 +19,7 @@ additive (no overlap modeling), matching the paper's stacked breakdowns.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
@@ -107,6 +108,10 @@ class RunResult:
     device_memory_peak: int
     oom: bool
     history: List[HistoryRow] = field(default_factory=list)
+    #: Whole-run MPI traffic counters (every :class:`MPICounters` field),
+    #: as recorded by the simulated communicator — the run-artifact's
+    #: ``communication.mpi_counters`` section.
+    mpi_counters: Dict[str, int] = field(default_factory=dict)
 
 
 class ParthenonDriver:
@@ -748,4 +753,8 @@ class ParthenonDriver:
             device_memory_peak=getattr(self, "_worst_device_bytes", 0),
             oom=self.oom,
             history=list(self.history),
+            mpi_counters={
+                f.name: getattr(self.mpi.total, f.name)
+                for f in dataclasses.fields(self.mpi.total)
+            },
         )

@@ -1,0 +1,48 @@
+"""Parallel, resumable sweep orchestration.
+
+The paper's results are parameter-sweep campaigns (mesh size x block
+size x AMR depth x ranks-per-GPU, Figs. 5-10).  This package runs those
+campaigns as fleets of :class:`~repro.api.RunSpec` points:
+
+* :mod:`repro.orchestration.campaign` fans points out across a
+  ``multiprocessing`` worker pool, isolating failures per point with
+  bounded retry and an optional per-point timeout;
+* :mod:`repro.orchestration.cache` persists every completed point under
+  its content address so an interrupted campaign resumes by skipping
+  finished points;
+* :mod:`repro.orchestration.artifacts` defines the structured run
+  artifact (JSON: FOM, per-region timings, MPI counters, memory
+  footprint) that :mod:`repro.core.report` renders into the figures.
+"""
+
+from repro.orchestration.artifacts import (
+    ARTIFACT_SCHEMA_VERSION,
+    error_artifact,
+    load_artifact,
+    result_to_artifact,
+    write_artifact,
+)
+from repro.orchestration.cache import RunCache
+from repro.orchestration.campaign import (
+    CampaignSummary,
+    PointOutcome,
+    load_campaign,
+    run_campaign,
+)
+from repro.orchestration.worker import PointTask, PointTimeout, execute_point
+
+__all__ = [
+    "ARTIFACT_SCHEMA_VERSION",
+    "CampaignSummary",
+    "PointOutcome",
+    "PointTask",
+    "PointTimeout",
+    "RunCache",
+    "error_artifact",
+    "execute_point",
+    "load_artifact",
+    "load_campaign",
+    "result_to_artifact",
+    "run_campaign",
+    "write_artifact",
+]

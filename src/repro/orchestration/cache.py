@@ -1,0 +1,69 @@
+"""Content-addressed run cache — the resume mechanism.
+
+Completed points live under ``<campaign>/points/<cache_key>.json``; the
+key is :meth:`repro.api.RunSpec.cache_key` (a sha256 over deck +
+ExecutionConfig + OptimizationFlags + cycle counts + code version), so a
+rerun of the same campaign skips every point whose artifact already
+exists, and *any* change to a point's identity — or a new code version —
+misses cleanly instead of serving stale results.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.orchestration.artifacts import load_artifact, write_artifact
+
+POINTS_DIR = "points"
+ERRORS_DIR = "errors"
+
+
+class RunCache:
+    """Artifact store for one campaign directory.
+
+    Successful points are the cache proper (``points/``); failed points
+    are recorded beside it (``errors/``) for inspection but never count
+    as hits — a resumed campaign retries them.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.points = self.root / POINTS_DIR
+        self.errors = self.root / ERRORS_DIR
+
+    # ------------------------------------------------------------ points
+
+    def path(self, key: str) -> Path:
+        return self.points / f"{key}.json"
+
+    def error_path(self, key: str) -> Path:
+        return self.errors / f"{key}.json"
+
+    def has(self, key: str) -> bool:
+        return self.path(key).is_file()
+
+    def load(self, key: str) -> Optional[dict]:
+        if not self.has(key):
+            return None
+        return load_artifact(self.path(key))
+
+    def store(self, artifact: dict) -> Path:
+        """File the artifact by status: a success replaces any stale
+        error record; a failure never shadows a cached success."""
+        key = artifact["cache_key"]
+        if artifact.get("status") == "ok":
+            path = write_artifact(self.path(key), artifact)
+            stale = self.error_path(key)
+            if stale.is_file():
+                stale.unlink()
+            return path
+        return write_artifact(self.error_path(key), artifact)
+
+    def keys(self) -> List[str]:
+        if not self.points.is_dir():
+            return []
+        return sorted(p.stem for p in self.points.glob("*.json"))
+
+    def load_all(self) -> Dict[str, dict]:
+        return {key: load_artifact(self.path(key)) for key in self.keys()}

@@ -1,0 +1,78 @@
+"""The unit of work a pool worker executes: one spec, fully isolated.
+
+``execute_point`` never raises: any exception inside the simulated run —
+bad parameters, a numeric blow-up, a timeout — is retried up to the
+task's bound and then reduced to a structured error artifact, so one
+crashed point cannot kill a campaign.  The payload is a single picklable
+:class:`PointTask` (the ``RunSpec`` plus the retry/timeout policy), not
+a bag of kwargs.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.api import RunSpec, Simulation
+from repro.orchestration.artifacts import error_artifact, result_to_artifact
+
+
+class PointTimeout(Exception):
+    """A point exceeded its per-attempt wall-clock budget."""
+
+
+@dataclass(frozen=True)
+class PointTask:
+    """One sweep point plus its failure policy, as sent to a worker."""
+
+    spec: RunSpec
+    #: Re-attempts after the first failure (total attempts = retries + 1).
+    retries: int = 0
+    #: Per-attempt wall-clock limit in seconds (None = unlimited).
+    timeout_s: Optional[float] = None
+
+
+@contextmanager
+def _deadline(seconds: Optional[float]) -> Iterator[None]:
+    """Raise :class:`PointTimeout` after ``seconds`` of wall time.
+
+    Uses ``SIGALRM`` (delivered to the worker process's main thread,
+    which is where pool workers run tasks).  A no-op where alarms are
+    unavailable (non-POSIX, or a non-main thread).
+    """
+    usable = (
+        seconds is not None
+        and hasattr(signal, "setitimer")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise PointTimeout(f"point exceeded {seconds}s")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def execute_point(task: PointTask) -> dict:
+    """Run one point to an artifact — success or structured failure."""
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            with _deadline(task.timeout_s):
+                result = Simulation(task.spec).run()
+            return result_to_artifact(task.spec, result, attempts=attempts)
+        except Exception as exc:  # noqa: BLE001 — isolation is the contract
+            if attempts > task.retries:
+                return error_artifact(task.spec, exc, attempts=attempts)

@@ -1,0 +1,204 @@
+"""The repro.api surface: RunSpec identity, Simulation facade, builders."""
+
+import pickle
+
+import pytest
+
+from repro.api import (
+    ConfigError,
+    RunSpec,
+    Simulation,
+    build_execution_config,
+    build_optimization_flags,
+    build_simulation_params,
+    run,
+)
+from repro.core.characterize import characterize
+from repro.driver.execution import ExecutionConfig, OptimizationFlags
+from repro.driver.params import SimulationParams
+
+
+def small_spec(**overrides) -> RunSpec:
+    fields = dict(
+        params=SimulationParams(
+            ndim=2, mesh_size=32, block_size=8, num_levels=2, num_scalars=1
+        ),
+        config=ExecutionConfig(backend="gpu", num_gpus=1, ranks_per_gpu=1),
+        ncycles=2,
+        warmup=1,
+        label="small",
+    )
+    fields.update(overrides)
+    return RunSpec(**fields)
+
+
+class TestRunSpecRoundTrips:
+    def test_pickle_round_trip(self):
+        """Worker pools ship RunSpecs between processes."""
+        spec = small_spec()
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert clone.cache_key() == spec.cache_key()
+
+    def test_deck_round_trip(self):
+        spec = small_spec()
+        clone = RunSpec.from_deck(spec.to_deck())
+        assert clone.params == spec.params
+        assert clone.config == spec.config
+        assert (clone.ncycles, clone.warmup) == (2, 1)
+        assert clone.label == "small"
+        assert clone.cache_key() == spec.cache_key()
+
+    def test_deck_round_trip_cpu(self):
+        spec = small_spec(
+            config=ExecutionConfig(backend="cpu", cpu_ranks=4), label=""
+        )
+        clone = RunSpec.from_deck(spec.to_deck())
+        assert clone.config == spec.config
+        assert clone.cache_key() == spec.cache_key()
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "spec.vibe"
+        path.write_text(small_spec().to_deck())
+        assert RunSpec.from_file(path) == small_spec()
+
+    def test_explicit_overrides_beat_deck(self):
+        clone = RunSpec.from_deck(small_spec().to_deck(), ncycles=7, warmup=0)
+        assert (clone.ncycles, clone.warmup) == (7, 0)
+
+    def test_invalid_cycles_rejected(self):
+        with pytest.raises(ConfigError):
+            small_spec(ncycles=0)
+        with pytest.raises(ConfigError):
+            small_spec(warmup=-1)
+
+
+class TestCacheKey:
+    def test_stable_across_instances(self):
+        assert small_spec().cache_key() == small_spec().cache_key()
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"ncycles": 3},
+            {"warmup": 0},
+            {"params": SimulationParams(
+                ndim=2, mesh_size=64, block_size=8, num_levels=2, num_scalars=1
+            )},
+            {"params": SimulationParams(
+                ndim=2, mesh_size=32, block_size=16, num_levels=2, num_scalars=1
+            )},
+            {"params": SimulationParams(
+                ndim=2, mesh_size=32, block_size=8, num_levels=3, num_scalars=1
+            )},
+            {"config": ExecutionConfig(backend="cpu", cpu_ranks=4)},
+            {"config": ExecutionConfig(ranks_per_gpu=2)},
+            {"config": ExecutionConfig(kernel_mode="per_block")},
+            {"config": ExecutionConfig(
+                optimizations=OptimizationFlags(pooled_block_allocation=True)
+            )},
+        ],
+        ids=[
+            "ncycles", "warmup", "mesh", "block", "levels",
+            "backend", "ranks", "kernel_mode", "optimizations",
+        ],
+    )
+    def test_any_field_change_changes_key(self, change):
+        assert small_spec(**change).cache_key() != small_spec().cache_key()
+
+    def test_label_is_identity_neutral(self):
+        """Relabeling must not invalidate cached artifacts."""
+        assert (
+            small_spec(label="renamed").cache_key() == small_spec().cache_key()
+        )
+
+
+class TestBuilders:
+    def test_happy_path_matches_direct_construction(self):
+        built = build_execution_config(
+            backend="cpu", cpu_ranks=8, kernel_mode="per_block"
+        )
+        assert built == ExecutionConfig(
+            backend="cpu", cpu_ranks=8, kernel_mode="per_block"
+        )
+
+    def test_kernel_mode_typo_lists_choices(self):
+        with pytest.raises(ConfigError, match="packed, per_block"):
+            build_execution_config(kernel_mode="paked")
+        with pytest.raises(ConfigError, match="did you mean 'packed'"):
+            build_execution_config(kernel_mode="paked")
+
+    def test_unknown_option_suggests_fix(self):
+        with pytest.raises(ConfigError, match="did you mean 'kernel_mode'"):
+            build_execution_config(kernal_mode="packed")
+
+    def test_mode_and_backend_typos(self):
+        with pytest.raises(ConfigError, match="modeled, numeric"):
+            build_execution_config(mode="modelled")
+        with pytest.raises(ConfigError, match="gpu, cpu"):
+            build_execution_config(backend="gpus")
+
+    def test_range_errors_still_config_errors(self):
+        with pytest.raises(ConfigError):
+            build_execution_config(backend="cpu", cpu_ranks=0)
+
+    def test_optimizations_dict_and_typo(self):
+        cfg = build_execution_config(
+            optimizations={"pooled_block_allocation": True}
+        )
+        assert cfg.optimizations.pooled_block_allocation
+        with pytest.raises(ConfigError, match="pooled_block_allocation"):
+            build_optimization_flags(pooled_blok_allocation=True)
+        with pytest.raises(ConfigError, match="must be a bool"):
+            build_optimization_flags(pooled_block_allocation=1)
+
+    def test_speedup_constants_not_settable(self):
+        with pytest.raises(ConfigError):
+            build_optimization_flags(POOL_SPEEDUP=2.0)
+
+    def test_simulation_params_builder(self):
+        with pytest.raises(ConfigError, match="did you mean 'mesh_size'"):
+            build_simulation_params(mesh_sze=64)
+        with pytest.raises(ConfigError, match="weno5, plm"):
+            build_simulation_params(reconstruction="weno")
+
+
+class TestSimulationFacade:
+    def test_run_and_result(self):
+        sim = Simulation(small_spec())
+        result = sim.run()
+        assert result.fom > 0
+        assert sim.result() is result  # cached, no rerun
+
+    def test_result_runs_lazily(self):
+        sim = Simulation(small_spec())
+        assert sim.result().fom > 0
+
+    def test_from_deck_text(self):
+        sim = Simulation.from_deck(small_spec().to_deck())
+        assert sim.spec == small_spec()
+
+    def test_from_deck_path(self, tmp_path):
+        path = tmp_path / "a.vibe"
+        path.write_text(small_spec().to_deck())
+        assert Simulation.from_deck(str(path)).spec == small_spec()
+
+    def test_rejects_non_spec(self):
+        with pytest.raises(ConfigError, match="RunSpec"):
+            Simulation({"mesh": 64})
+
+    def test_run_convenience_matches_facade(self):
+        assert run(small_spec()).fom == Simulation(small_spec()).run().fom
+
+    def test_mpi_counters_populated(self):
+        result = run(small_spec())
+        assert result.mpi_counters["allreduce_calls"] > 0
+        assert "remote_bytes" in result.mpi_counters
+
+
+class TestDeprecatedShim:
+    def test_characterize_warns_and_matches(self):
+        spec = small_spec()
+        with pytest.warns(DeprecationWarning, match="RunSpec"):
+            old = characterize(spec.params, spec.config, 2, 1)
+        assert old.fom == Simulation(spec).run().fom

@@ -1,0 +1,85 @@
+"""End-to-end `repro campaign` CLI: run, resume, report, golden summary."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+GOLDEN = Path(__file__).parent / "golden" / "mini_campaign_summary.txt"
+
+
+def quick_args(tmp_path, extra=()):
+    return [
+        "campaign", "--dir", str(tmp_path / "camp"),
+        "--mesh", "32,64", "--block", "8,16",
+        "--ndim", "2", "--scalars", "1", "--levels", "2",
+        "--cycles", "2", "--warmup", "1", "--workers", "1",
+    ] + list(extra)
+
+
+class TestCampaignCommand:
+    def test_run_writes_one_artifact_per_point(self, tmp_path, capsys):
+        rc = main(quick_args(tmp_path))
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "executed 4, cached 0, failed 0" in out
+        points = list((tmp_path / "camp" / "points").glob("*.json"))
+        assert len(points) == 4
+
+    def test_rerun_hits_cache(self, tmp_path, capsys):
+        main(quick_args(tmp_path))
+        capsys.readouterr()
+        rc = main(quick_args(tmp_path))
+        assert rc == 0
+        assert "executed 0, cached 4" in capsys.readouterr().out
+
+    def test_deleted_artifact_reexecutes_one_point(self, tmp_path, capsys):
+        main(quick_args(tmp_path))
+        capsys.readouterr()
+        victim = sorted((tmp_path / "camp" / "points").glob("*.json"))[0]
+        victim.unlink()
+        main(quick_args(tmp_path))
+        assert "executed 1, cached 3" in capsys.readouterr().out
+
+    def test_report_only(self, tmp_path, capsys):
+        main(quick_args(tmp_path))
+        capsys.readouterr()
+        rc = main(
+            ["campaign", "--dir", str(tmp_path / "camp"), "--report-only"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Campaign summary" in out
+        assert "mesh32-block8" in out
+
+    def test_two_workers(self, tmp_path, capsys):
+        rc = main(quick_args(tmp_path, ["--workers", "2"]))
+        assert rc == 0
+        assert "2 workers" in capsys.readouterr().out
+
+    def test_typo_fails_fast_with_choices(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            # argparse rejects bad choices before the driver ever runs
+            main(quick_args(tmp_path, ["--kernel-mode", "paked"]))
+        assert "per_block" in capsys.readouterr().err
+
+
+class TestGoldenSummary:
+    def test_mini_preset_matches_golden(self, tmp_path, capsys):
+        """The CI mini-sweep: deterministic simulated metrics mean the
+        regenerated report must match the committed golden byte-for-byte."""
+        rc = main(
+            ["campaign", "--preset", "mini",
+             "--dir", str(tmp_path / "mini"), "--workers", "1"]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        rc = main(
+            ["campaign", "--dir", str(tmp_path / "mini"), "--report-only"]
+        )
+        assert rc == 0
+        rendered = capsys.readouterr().out
+        assert rendered == GOLDEN.read_text()
+        points = list((tmp_path / "mini" / "points").glob("*.json"))
+        assert len(points) == 4  # one artifact per sweep point

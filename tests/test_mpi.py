@@ -91,3 +91,25 @@ class TestBufferRegistry:
         mpi.set_registered_buffer_bytes({1: 10, 2: 20})
         assert mpi.registered_buffer_bytes(0) == 0
         assert mpi.total_registered_bytes() == 30
+
+
+class TestCountersMergeFields:
+    """merge iterates dataclass fields, not vars(), so stray instance
+    attributes can no longer corrupt (or crash) the accumulation."""
+
+    def test_stray_attribute_is_ignored(self):
+        a = MPICounters(remote_messages=1)
+        b = MPICounters(remote_messages=2)
+        b.note = "not a counter"  # ad-hoc attr: in vars(), not in fields()
+        a.merge(b)
+        assert a.remote_messages == 3
+        assert not hasattr(a, "note")
+
+    def test_all_declared_fields_merge(self):
+        from dataclasses import fields
+
+        a = MPICounters()
+        b = MPICounters(**{f.name: i + 1 for i, f in enumerate(fields(MPICounters))})
+        a.merge(b)
+        for i, f in enumerate(fields(MPICounters)):
+            assert getattr(a, f.name) == i + 1
