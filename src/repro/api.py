@@ -36,11 +36,13 @@ from repro.driver.driver import ParthenonDriver, RunResult
 from repro.driver.execution import ExecutionConfig, OptimizationFlags
 from repro.driver.input import parse_input, params_from_input, render_input
 from repro.driver.params import SimulationParams
+from repro.observability import Trace, TraceRecorder
 
 __all__ = [
     "ConfigError",
     "RunSpec",
     "Simulation",
+    "Trace",
     "build_execution_config",
     "build_optimization_flags",
     "build_simulation_params",
@@ -260,12 +262,20 @@ class Simulation:
     the :class:`RunResult`; ``result()`` returns the last result, running
     first if needed.  The underlying driver stays reachable via
     ``.driver`` for callers that need mesh/profiler internals.
+
+    With ``trace=True`` a :class:`repro.observability.TraceRecorder` is
+    attached to the driver's profiler and :meth:`trace` returns the
+    measured cycles' span tree as a :class:`Trace` (warmup spans are
+    discarded at the warmup boundary, like every other metric).  Tracing
+    never changes the simulated outcome — the profiler-invariance test
+    pins the traced and untraced ``RunResult`` equal to 0 ULP.
     """
 
     def __init__(
         self,
         spec: RunSpec,
         initial_conditions: Optional[Callable] = None,
+        trace: bool = False,
     ) -> None:
         if not isinstance(spec, RunSpec):
             raise ConfigError(
@@ -273,6 +283,9 @@ class Simulation:
             )
         self.spec = spec
         self._initial_conditions = initial_conditions
+        self._recorder: Optional[TraceRecorder] = (
+            TraceRecorder() if trace else None
+        )
         self._driver: Optional[ParthenonDriver] = None
         self._result: Optional[RunResult] = None
 
@@ -281,6 +294,7 @@ class Simulation:
         cls,
         deck: Union[str, Path],
         initial_conditions: Optional[Callable] = None,
+        trace: bool = False,
         **overrides,
     ) -> "Simulation":
         """Build from deck text or a deck file path."""
@@ -290,7 +304,7 @@ class Simulation:
             spec = RunSpec.from_deck(deck, **overrides)
         else:
             spec = RunSpec.from_file(deck, **overrides)
-        return cls(spec, initial_conditions=initial_conditions)
+        return cls(spec, initial_conditions=initial_conditions, trace=trace)
 
     @property
     def driver(self) -> ParthenonDriver:
@@ -299,6 +313,7 @@ class Simulation:
                 self.spec.params,
                 self.spec.config,
                 initial_conditions=self._initial_conditions,
+                recorder=self._recorder,
             )
         return self._driver
 
@@ -311,8 +326,42 @@ class Simulation:
         """
         if self._result is not None:
             self._driver = None
+        if self._recorder is not None:
+            self._recorder.clear()
         self._result = self.driver.run(self.spec.ncycles, warmup=self.spec.warmup)
         return self._result
+
+    def trace(self) -> Trace:
+        """The last run's span tree (running first if needed).
+
+        Only available when the simulation was created with
+        ``trace=True`` — tracing is an explicit opt-in, so untraced runs
+        retain no per-event state at all.
+        """
+        if self._recorder is None:
+            raise ConfigError(
+                "tracing is not enabled; construct with "
+                "Simulation(spec, trace=True)"
+            )
+        self.result()
+        p, c = self.spec.params, self.spec.config
+        meta = {
+            "backend": c.backend,
+            "block_size": p.block_size,
+            "kernel_mode": c.kernel_mode,
+            "label": self.spec.label,
+            "mesh_size": p.mesh_size,
+            "mode": c.mode,
+            "ncycles": self.spec.ncycles,
+            "ndim": p.ndim,
+            "num_levels": p.num_levels,
+            "num_scalars": p.num_scalars,
+            "total_ranks": c.total_ranks,
+            "warmup": self.spec.warmup,
+        }
+        return self._recorder.to_trace(
+            meta=meta, metrics=self.driver.metrics.to_dict()
+        )
 
     def result(self) -> RunResult:
         """The last run's result, running the simulation first if needed."""

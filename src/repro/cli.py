@@ -9,6 +9,9 @@ Usage::
     python -m repro campaign --dir out --mesh 64,96 --block 8,16 \
         --workers 4            # parallel + resumable; rerun to resume
     python -m repro deck --mesh 128 --block 16 ...   # emit an input deck
+    python -m repro trace input.vibe --format canonical   # golden-file JSON
+    python -m repro trace input.vibe --format chrome -o t.json  # Perfetto
+    python -m repro trace --diff a.json b.json --tolerance 0.05
 
 Everything routes through :mod:`repro.api` (``RunSpec`` + ``Simulation``
 + the validating builders), so a typo like ``--kernel-mode paked`` fails
@@ -134,14 +137,82 @@ def cmd_run(args) -> int:
 def cmd_characterize(args) -> int:
     import json
 
-    sim = Simulation(_spec(args))
+    from repro.observability import to_chrome_trace
+
+    want_trace = bool(getattr(args, "trace", None))
+    sim = Simulation(_spec(args), trace=want_trace)
     result = sim.run()
     _print_result(result)
-    if getattr(args, "trace", None):
+    if want_trace:
         with open(args.trace, "w") as f:
-            json.dump(sim.driver.prof.to_chrome_trace(), f)
+            json.dump(to_chrome_trace(sim.trace()), f)
         print(f"\nchrome trace written to {args.trace} "
               "(open in chrome://tracing or Perfetto)")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Export a run's span tree, or diff two canonical trace files."""
+    import dataclasses
+    import json
+
+    from repro.observability import (
+        diff_region_totals,
+        render_trace_diff,
+        to_canonical_dict,
+        to_canonical_json,
+        to_chrome_trace,
+    )
+    from repro.observability.exporters import (
+        render_trace_summary,
+        within_tolerance,
+    )
+
+    if args.diff:
+        path_a, path_b = args.diff
+        with open(path_a) as f:
+            doc_a = json.load(f)
+        with open(path_b) as f:
+            doc_b = json.load(f)
+        try:
+            deltas = diff_region_totals(doc_a, doc_b)
+        except ValueError as exc:
+            raise ConfigError(str(exc))
+        print(render_trace_diff(deltas, args.tolerance,
+                                title=f"Trace diff: {path_a} vs {path_b}"))
+        ok = within_tolerance(deltas, args.tolerance)
+        worst = max((abs(d.rel) for d in deltas), default=0.0)
+        print(f"\nlargest relative delta: {worst * 100:.2f}% "
+              f"(tolerance {args.tolerance * 100:.2f}%)")
+        return 0 if ok else 1
+
+    if not args.input:
+        raise ConfigError("trace needs an input deck (or --diff A B)")
+    overrides = {}
+    if args.cycles is not None:
+        overrides["ncycles"] = args.cycles
+    if args.warmup is not None:
+        overrides["warmup"] = args.warmup
+    spec = RunSpec.from_file(args.input, **overrides)
+    if args.kernel_mode:
+        spec = spec.replace(
+            config=dataclasses.replace(spec.config, kernel_mode=args.kernel_mode)
+        )
+    sim = Simulation(spec, trace=True)
+    sim.run()
+    trace = sim.trace()
+    if args.format == "canonical":
+        text = to_canonical_json(trace)
+    elif args.format == "chrome":
+        text = json.dumps(to_chrome_trace(trace), sort_keys=True, indent=2) + "\n"
+    else:  # summary
+        text = render_trace_summary(to_canonical_dict(trace)) + "\n"
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(text)
+        print(f"{args.format} trace written to {args.output}")
+    else:
+        sys.stdout.write(text)
     return 0
 
 
@@ -306,6 +377,41 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_deck = sub.add_parser("deck", help="emit an input deck for a config")
     _add_config_args(p_deck)
     p_deck.set_defaults(fn=cmd_deck)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run a deck with tracing and export the span tree, or diff "
+        "two canonical traces region by region",
+    )
+    p_trace.add_argument(
+        "input", nargs="?",
+        help="input deck to run (omit when using --diff)",
+    )
+    p_trace.add_argument(
+        "--format", choices=("canonical", "chrome", "summary"),
+        default="canonical",
+        help="canonical = schema-versioned golden-file JSON; chrome = "
+        "Perfetto/chrome://tracing timeline; summary = human tables",
+    )
+    p_trace.add_argument(
+        "-o", "--output", help="write here instead of stdout"
+    )
+    p_trace.add_argument("--cycles", type=int, default=None)
+    p_trace.add_argument("--warmup", type=int, default=None)
+    p_trace.add_argument(
+        "--kernel-mode", choices=("packed", "per_block"), default=None,
+        help="override the deck's kernel mode",
+    )
+    p_trace.add_argument(
+        "--diff", nargs=2, metavar=("A", "B"),
+        help="compare two canonical trace JSON files; exit 1 if any "
+        "region's total differs by more than --tolerance",
+    )
+    p_trace.add_argument(
+        "--tolerance", type=float, default=0.0,
+        help="relative per-region tolerance for --diff (default: exact)",
+    )
+    p_trace.set_defaults(fn=cmd_trace)
 
     p_sweep = sub.add_parser("sweep", help="sweep one parameter axis")
     p_sweep.add_argument(

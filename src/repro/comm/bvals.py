@@ -270,10 +270,14 @@ class BoundaryExchange:
         mpi: SimMPI,
         bytes_per_value: int = 8,
         cache_seed: int = 0,
+        metrics=None,
     ) -> None:
         self.mesh = mesh
         self.mpi = mpi
         self.bytes_per_value = bytes_per_value
+        #: Optional :class:`repro.observability.MetricsRegistry`; when
+        #: attached, per-message ghost-traffic distributions are observed.
+        self.metrics = metrics
         self.cache = BufferCache(seed=cache_seed)
         self.pool = GhostBufferPool()
         self.neighbor_table: Dict[LogicalLocation, List[NeighborInfo]] = {}
@@ -432,6 +436,10 @@ class BoundaryExchange:
             for (src, dst), (count, cells) in self._agg_pairs.items():
                 nbytes = cells * ncomp * self.bytes_per_value
                 self.mpi.send_bulk(src, dst, count, nbytes)
+                if self.metrics is not None and count:
+                    # Aggregate path: one observation per rank pair, at
+                    # the pair's mean message size.
+                    self.metrics.observe("ghost_message_bytes", nbytes / count)
                 if src == dst:
                     stats.messages_local += count
                 else:
@@ -458,6 +466,8 @@ class BoundaryExchange:
                         payload[name] = buf
                 nbytes = spec.cells * ncomp * self.bytes_per_value
                 self.mpi.send(sender.rank, blk.rank, nbytes)
+                if self.metrics is not None:
+                    self.metrics.observe("ghost_message_bytes", nbytes)
                 if sender.rank == blk.rank:
                     stats.messages_local += 1
                 else:

@@ -50,6 +50,8 @@ from repro.kokkos.memory import (
 )
 from repro.kokkos.profiler import Profiler
 from repro.kokkos.space import ExecutionSpace
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.trace import NullRecorder
 from repro.mesh.block import MeshBlock
 from repro.mesh.loadbalance import RedistributionPlan, balance
 from repro.mesh.mesh import Mesh
@@ -112,6 +114,10 @@ class RunResult:
     #: as recorded by the simulated communicator — the run-artifact's
     #: ``communication.mpi_counters`` section.
     mpi_counters: Dict[str, int] = field(default_factory=dict)
+    #: :meth:`MetricsRegistry.to_dict` snapshot (counters, gauges,
+    #: histograms, per-cycle counter series) — the run-artifact's
+    #: ``metrics`` section.
+    metrics: Dict[str, object] = field(default_factory=dict)
 
 
 class ParthenonDriver:
@@ -123,6 +129,7 @@ class ParthenonDriver:
         config: ExecutionConfig,
         initial_conditions: Optional[Callable[[Mesh, BurgersPackage], None]] = None,
         raise_on_oom: bool = False,
+        recorder: Optional[NullRecorder] = None,
     ) -> None:
         self.params = params
         self.config = config
@@ -132,8 +139,9 @@ class ParthenonDriver:
         self.mesh = Mesh(
             params.geometry(), self.pkg.field_specs(), allocate=numeric
         )
+        self.metrics = MetricsRegistry()
         self.mpi = SimMPI(config.total_ranks, nnodes=config.num_nodes)
-        self.bx = BoundaryExchange(self.mesh, self.mpi)
+        self.bx = BoundaryExchange(self.mesh, self.mpi, metrics=self.metrics)
         self.fc = FluxCorrection(self.mesh, self.mpi)
         self.fc.set_neighbor_table(self.bx.neighbor_table)
         if numeric:
@@ -149,7 +157,7 @@ class ParthenonDriver:
                 width=params.wavefront_width,
             )
         self.policy = RefinementPolicy(tagger, derefine_gap=params.derefine_gap)
-        self.prof = Profiler()
+        self.prof = Profiler(recorder=recorder)
         self.gpu_model = GPUModel(config.gpu_spec, config.calibration)
         self.cpu_model = CPUModel(config.cpu_spec, config.calibration)
         self.serial_model = SerialCostModel(config.calibration)
@@ -201,7 +209,10 @@ class ParthenonDriver:
         """
         if self._pack is None:
             self._pack = build_numeric_pack(
-                self.mesh, (CONSERVED, BASE, DERIVED), flux_field=CONSERVED
+                self.mesh,
+                (CONSERVED, BASE, DERIVED),
+                flux_field=CONSERVED,
+                metrics=self.metrics,
             )
             self.pack_rebuilds += 1
         return self._pack
@@ -287,7 +298,16 @@ class ParthenonDriver:
             )
             wall = per_launch * math.ceil(nlaunches / ranks)
         wall *= self._imbalance()
-        self.prof.add_kernel(name, wall)
+        self.metrics.count("kernel_launches", nlaunches)
+        self.metrics.observe("kernel_wall_seconds", wall)
+        self.prof.add_kernel(
+            name,
+            wall,
+            cells=cells,
+            bytes=launch.bytes * nlaunches,
+            launches=nlaunches,
+            space=space.name,
+        )
 
     # -------------------------------------------------------------- cycle
 
@@ -315,7 +335,10 @@ class ParthenonDriver:
     def reset_metrics(self) -> None:
         """Zero all accumulated metrics; the mesh state stays."""
         measured = self.cycle
-        self.prof = Profiler()
+        recorder = self.prof.recorder
+        recorder.clear()
+        self.prof = Profiler(recorder=recorder)
+        self.metrics.clear()
         self.launch_records = []
         self.zone_cycles = 0
         self.cell_updates = 0
@@ -344,6 +367,11 @@ class ParthenonDriver:
         self.prof.end_cycle()
         self.cycle += 1
         self._update_memory()
+        self.metrics.gauge("blocks", self.mesh.num_blocks)
+        self.metrics.gauge(
+            "device_peak_bytes", getattr(self, "_worst_device_bytes", 0)
+        )
+        self.metrics.end_cycle(self.prof.cycles)
 
     # ---------------------------------------------------------------- Step
 
@@ -464,6 +492,10 @@ class ParthenonDriver:
             )
             self._kernel("SendBoundBufs", stats.cells_communicated)
             self.cells_communicated += stats.cells_communicated
+            self.metrics.count("ghost_cells", stats.cells_communicated)
+            self.metrics.count("ghost_bytes", stats.bytes_communicated)
+            self.metrics.count("ghost_messages_remote", stats.messages_remote)
+            self.metrics.count("ghost_messages_local", stats.messages_local)
         with self.prof.region("ReceiveBoundBufs"):
             self.bx.receive_bound_bufs()
             counters = self.mpi.cycle
@@ -510,6 +542,7 @@ class ParthenonDriver:
                 * self.config.calibration.serial.per_remote_message_s
             )
             self.cells_communicated += stats.cells_communicated
+            self.metrics.count("flux_corrections", stats.corrections)
 
     # ----------------------------------------------- LoadBalancingAndAMR
 
@@ -537,6 +570,14 @@ class ParthenonDriver:
             )
             remesh_stats = self.mesh.remesh(refine, derefine)
             changes = remesh_stats.refined_parents + remesh_stats.derefined_parents
+            if changes:
+                self.metrics.count("remesh_events")
+                self.metrics.count(
+                    "remesh_blocks_created", remesh_stats.created
+                )
+                self.metrics.count(
+                    "remesh_blocks_destroyed", remesh_stats.destroyed
+                )
             self._charge_fixed(
                 self.serial_model.tree_update(total_blocks, changes)
             )
@@ -569,6 +610,7 @@ class ParthenonDriver:
             if do_lb:
                 self._plan = balance(self.mesh, self.config.total_ranks)
                 moved = self._plan.moved_blocks
+                self.metrics.count("lb_blocks_moved", moved)
                 self._charge_divisible(
                     self.serial_model.redistribution(moved, bytes_per_block)
                 )
@@ -757,4 +799,5 @@ class ParthenonDriver:
                 f.name: getattr(self.mpi.total, f.name)
                 for f in dataclasses.fields(self.mpi.total)
             },
+            metrics=self.metrics.to_dict(),
         )

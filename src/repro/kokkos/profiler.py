@@ -20,6 +20,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro.observability.trace import NULL_RECORDER, NullRecorder
+
 
 @dataclass
 class RegionTimes:
@@ -38,16 +40,25 @@ class Profiler:
 
     TOPLEVEL = "other"
 
-    def __init__(self) -> None:
+    def __init__(self, recorder: Optional[NullRecorder] = None) -> None:
         self._stack: List[str] = []
         self.regions: Dict[str, RegionTimes] = defaultdict(RegionTimes)
         self.kernel_seconds: Dict[str, float] = defaultdict(float)
         self.kernel_launches: Dict[str, int] = defaultdict(int)
         self.cycles: int = 0
         #: Serialized simulated-timeline events: (region, category,
-        #: kernel-or-None, start_s, duration_s, cycle).
+        #: kernel-or-None, start_s, duration_s, cycle).  Only retained
+        #: while a live recorder is attached — without a consumer the
+        #: list would grow unboundedly over long runs.
         self.events: List[Tuple[str, str, Optional[str], float, float, int]] = []
+        #: Span-tree consumer (:class:`repro.observability.TraceRecorder`);
+        #: the shared no-op :data:`NULL_RECORDER` when tracing is off.
+        self.recorder: NullRecorder = recorder if recorder is not None else NULL_RECORDER
         self._now = 0.0
+
+    def attach(self, recorder: NullRecorder) -> None:
+        """Attach a recorder; subsequent charges are recorded as spans."""
+        self.recorder = recorder
 
     # ------------------------------------------------------------- regions
 
@@ -55,10 +66,12 @@ class Profiler:
     def region(self, name: str) -> Iterator[None]:
         """Scope all time charged inside to ``name``."""
         self._stack.append(name)
+        self.recorder.open_region(name, self._now, self.cycles)
         try:
             yield
         finally:
             self._stack.pop()
+            self.recorder.close_region(name, self._now, self.cycles)
 
     @property
     def current_region(self) -> str:
@@ -70,26 +83,59 @@ class Profiler:
         """Charge serial-portion time to the current region."""
         if seconds < 0:
             raise ValueError(f"negative time {seconds}")
-        self.regions[self.current_region].serial += seconds
-        self.events.append(
-            (self.current_region, "serial", None, self._now, seconds, self.cycles)
-        )
+        region = self.current_region
+        self.regions[region].serial += seconds
+        if self.recorder.active:
+            self.events.append(
+                (region, "serial", None, self._now, seconds, self.cycles)
+            )
+            self.recorder.record(
+                "serial", region, None, self._now, seconds, self.cycles
+            )
         self._now += seconds
 
-    def add_kernel(self, name: str, seconds: float) -> None:
-        """Charge kernel time to the current region and the kernel's bin."""
+    def add_kernel(
+        self,
+        name: str,
+        seconds: float,
+        cells: Optional[int] = None,
+        bytes: Optional[int] = None,
+        launches: Optional[int] = None,
+        space: Optional[str] = None,
+    ) -> None:
+        """Charge kernel time to the current region and the kernel's bin.
+
+        The optional keywords are launch metadata forwarded to the
+        attached recorder (span ``meta``); they never affect accounting.
+        """
         if seconds < 0:
             raise ValueError(f"negative time {seconds}")
-        self.regions[self.current_region].kernel += seconds
+        region = self.current_region
+        self.regions[region].kernel += seconds
         self.kernel_seconds[name] += seconds
         self.kernel_launches[name] += 1
-        self.events.append(
-            (self.current_region, "kernel", name, self._now, seconds, self.cycles)
-        )
+        if self.recorder.active:
+            meta = {
+                key: value
+                for key, value in (
+                    ("cells", cells),
+                    ("bytes", bytes),
+                    ("launches", launches),
+                    ("space", space),
+                )
+                if value is not None
+            }
+            self.events.append(
+                (region, "kernel", name, self._now, seconds, self.cycles)
+            )
+            self.recorder.record(
+                "kernel", region, name, self._now, seconds, self.cycles, meta
+            )
         self._now += seconds
 
     def end_cycle(self) -> None:
         self.cycles += 1
+        self.recorder.end_cycle(self.cycles)
 
     # ------------------------------------------------------------- queries
 

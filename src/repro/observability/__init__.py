@@ -1,0 +1,62 @@
+"""Structured tracing and metrics over the simulated clock.
+
+The characterization study's core artifacts are *time breakdowns* —
+per-function serial/kernel splits (Figs. 7/9/11/12) and per-kernel
+duration tables (Table III).  This package turns those from flat
+accumulations into first-class, exportable, diffable objects:
+
+* :class:`TraceRecorder` builds a nested span tree from the
+  :class:`repro.kokkos.profiler.Profiler`'s region push/pop and
+  serial/kernel charges (the Kokkos-Tools connector pattern);
+* :mod:`repro.observability.exporters` renders a :class:`Trace` as a
+  Chrome ``trace_event`` JSON (Perfetto-loadable), as a canonical
+  schema-versioned JSON suitable for byte-exact golden files, or as a
+  human summary, and diffs two canonical traces region by region;
+* :class:`MetricsRegistry` counts framework events (kernel launches,
+  ghost bytes, remesh events, pack rebuilds) with per-cycle snapshots
+  and an associative/commutative merge for campaign aggregation.
+
+Tracing is zero-cost-when-off: the profiler holds a shared
+:data:`NULL_RECORDER` unless a real recorder is attached, and nothing
+about the simulated clock depends on whether spans are retained (the
+profiler-invariance test pins this to 0 ULP).
+"""
+
+from repro.observability.metrics import Histogram, MetricsRegistry
+from repro.observability.trace import (
+    NULL_RECORDER,
+    NullRecorder,
+    Span,
+    Trace,
+    TraceError,
+    TraceRecorder,
+)
+from repro.observability.exporters import (
+    CANONICAL_SCHEMA,
+    CANONICAL_SCHEMA_VERSION,
+    RegionDelta,
+    diff_region_totals,
+    render_trace_diff,
+    to_canonical_dict,
+    to_canonical_json,
+    to_chrome_trace,
+)
+
+__all__ = [
+    "CANONICAL_SCHEMA",
+    "CANONICAL_SCHEMA_VERSION",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "RegionDelta",
+    "Span",
+    "Trace",
+    "TraceError",
+    "TraceRecorder",
+    "diff_region_totals",
+    "render_trace_diff",
+    "to_canonical_dict",
+    "to_canonical_json",
+    "to_chrome_trace",
+]

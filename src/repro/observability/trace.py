@@ -1,0 +1,235 @@
+"""The span tree: what one run *did*, on the simulated timeline.
+
+A :class:`TraceRecorder` listens to the profiler's three event sources —
+region push/pop, serial charges, kernel charges — and assembles them
+into nested :class:`Span` objects.  Region spans open at the simulated
+time of entry and close at exit; every charge becomes a zero-gap leaf
+span under the innermost open region.  Because the simulated clock only
+advances through charges, the resulting tree tiles the timeline exactly:
+the sum of top-level span durations equals the profiler's wall clock
+(a property test pins this).
+
+The :data:`NULL_RECORDER` singleton implements the same interface as a
+set of no-ops.  It is the profiler's default, so an untraced run makes
+the same calls but allocates nothing — tracing cannot perturb the
+simulated clock either way, and the driver only retains its flat event
+list when a live recorder is attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+#: Version of the in-memory span model / canonical document it feeds.
+#: Bump whenever a span field changes meaning — committed golden traces
+#: carry this number, and the golden-update policy (DESIGN §8) requires
+#: regenerating them on a bump.
+TRACE_SCHEMA_VERSION = 1
+
+
+class TraceError(RuntimeError):
+    """Structurally invalid recording (unbalanced or misnested regions)."""
+
+
+@dataclass
+class Span:
+    """One contiguous interval of simulated time.
+
+    ``cat`` is ``"region"`` for profiler regions (interior nodes) and
+    ``"serial"`` / ``"kernel"`` for charges (leaves, matching the
+    paper's two time categories).  ``meta`` carries launch metadata for
+    kernel leaves: cells, bytes, launch count, execution space.
+    """
+
+    name: str
+    cat: str
+    t0: float
+    t1: float
+    cycle: int
+    meta: Dict[str, object] = field(default_factory=dict)
+    children: List["Span"] = field(default_factory=list)
+
+    @property
+    def dur(self) -> float:
+        return self.t1 - self.t0
+
+    def walk(self) -> Iterator["Span"]:
+        """Depth-first, self first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+class NullRecorder:
+    """The explicit no-op recorder: same interface, zero retention."""
+
+    active = False
+
+    def open_region(self, name: str, now: float, cycle: int) -> None:
+        pass
+
+    def close_region(self, name: str, now: float, cycle: int) -> None:
+        pass
+
+    def record(
+        self,
+        category: str,
+        region: str,
+        kernel: Optional[str],
+        start: float,
+        duration: float,
+        cycle: int,
+        meta: Optional[Dict[str, object]] = None,
+    ) -> None:
+        pass
+
+    def end_cycle(self, cycle: int) -> None:
+        pass
+
+    def clear(self) -> None:
+        pass
+
+
+#: Shared default for every profiler: attaching a real recorder is the
+#: single opt-in switch for tracing.
+NULL_RECORDER = NullRecorder()
+
+
+class TraceRecorder(NullRecorder):
+    """Builds the span tree from profiler notifications."""
+
+    active = True
+
+    def __init__(self) -> None:
+        self.roots: List[Span] = []
+        self.cycles: int = 0
+        self._open: List[Span] = []
+
+    # -------------------------------------------------------------- hooks
+
+    def open_region(self, name: str, now: float, cycle: int) -> None:
+        span = Span(name=name, cat="region", t0=now, t1=now, cycle=cycle)
+        self._sink().append(span)
+        self._open.append(span)
+
+    def close_region(self, name: str, now: float, cycle: int) -> None:
+        if not self._open:
+            raise TraceError(f"close_region({name!r}) with no open region")
+        span = self._open.pop()
+        if span.name != name:
+            raise TraceError(
+                f"misnested regions: closing {name!r}, "
+                f"innermost open is {span.name!r}"
+            )
+        span.t1 = now
+
+    def record(
+        self,
+        category: str,
+        region: str,
+        kernel: Optional[str],
+        start: float,
+        duration: float,
+        cycle: int,
+        meta: Optional[Dict[str, object]] = None,
+    ) -> None:
+        if duration < 0:
+            raise TraceError(f"negative span duration {duration}")
+        span = Span(
+            name=kernel or region,
+            cat=category,
+            t0=start,
+            t1=start + duration,
+            cycle=cycle,
+            meta=dict(meta or {}),
+        )
+        self._sink().append(span)
+        # An open region always covers its charges.
+        for parent in self._open:
+            parent.t1 = max(parent.t1, span.t1)
+
+    def end_cycle(self, cycle: int) -> None:
+        self.cycles = max(self.cycles, cycle)
+
+    def clear(self) -> None:
+        """Drop everything recorded so far (warmup-boundary reset)."""
+        self.roots = []
+        self.cycles = 0
+        self._open = []
+
+    # ------------------------------------------------------------ queries
+
+    def _sink(self) -> List[Span]:
+        return self._open[-1].children if self._open else self.roots
+
+    @property
+    def depth(self) -> int:
+        return len(self._open)
+
+    def to_trace(
+        self,
+        meta: Optional[Dict[str, object]] = None,
+        metrics: Optional[Dict[str, object]] = None,
+    ) -> "Trace":
+        """Freeze the recording into a :class:`Trace`.
+
+        Raises :class:`TraceError` while regions are still open — a
+        trace of a half-finished scope has ill-defined durations.
+        """
+        if self._open:
+            names = ", ".join(s.name for s in self._open)
+            raise TraceError(f"regions still open: {names}")
+        return Trace(
+            meta=dict(meta or {}),
+            spans=list(self.roots),
+            metrics=dict(metrics or {}),
+        )
+
+
+@dataclass
+class Trace:
+    """A finished recording plus run identity and final metrics."""
+
+    meta: Dict[str, object] = field(default_factory=dict)
+    spans: List[Span] = field(default_factory=list)
+    metrics: Dict[str, object] = field(default_factory=dict)
+    schema_version: int = TRACE_SCHEMA_VERSION
+
+    def walk(self) -> Iterator[Span]:
+        for span in self.spans:
+            yield from span.walk()
+
+    @property
+    def total_seconds(self) -> float:
+        """Simulated wall clock: top-level spans tile the timeline."""
+        return sum(span.dur for span in self.spans)
+
+    def region_totals(self) -> Dict[str, Dict[str, float]]:
+        """Leaf time by innermost enclosing region, split by category.
+
+        Mirrors ``Profiler.regions`` exactly — the equivalence is pinned
+        by a test — so trace diffs speak the same per-function language
+        as Figs. 11/12.
+        """
+        totals: Dict[str, Dict[str, float]] = {}
+
+        def visit(span: Span, region: str) -> None:
+            if span.cat == "region":
+                for child in span.children:
+                    visit(child, span.name)
+                return
+            bucket = totals.setdefault(region, {"serial": 0.0, "kernel": 0.0})
+            bucket[span.cat] += span.dur
+
+        for span in self.spans:
+            visit(span, "other")
+        return {name: totals[name] for name in sorted(totals)}
+
+    def kernel_totals(self) -> Dict[str, float]:
+        """Seconds per kernel name (Table III's duration column)."""
+        totals: Dict[str, float] = {}
+        for span in self.walk():
+            if span.cat == "kernel":
+                totals[span.name] = totals.get(span.name, 0.0) + span.dur
+        return {name: totals[name] for name in sorted(totals)}

@@ -8,10 +8,12 @@ campaign directory without re-running anything.  The document is
 wall-clock timestamps, so re-executing an identical spec reproduces the
 artifact byte-for-byte (the resume test relies on this).
 
-Schema (``schema_version`` 1)::
+Schema (``schema_version`` 2; v2 added the ``metrics`` section — the
+:class:`repro.observability.MetricsRegistry` snapshot with counters,
+gauges, histograms and the per-cycle counter series)::
 
     {
-      "schema_version": 1,
+      "schema_version": 2,
       "status": "ok" | "error",
       "cache_key": "<sha256 of the spec's canonical identity>",
       "code_version": "<repro.__version__>",
@@ -34,6 +36,11 @@ Schema (``schema_version`` 1)::
         "mpi_counters": {<MPICounters fields>}
       },
       "memory": {"breakdown": {label: bytes}, "device_peak_bytes": N},
+      "metrics": {
+        "counters": {name: N}, "gauges": {name: x},
+        "histograms": {name: {"buckets": {...}, "count", "sum", "min", "max"}},
+        "per_cycle": [{"cycle": N, "counters": {...}}, ...]
+      },
       # status == "error" only:
       "error": {"type": "...", "message": "...", "traceback": "..."}
     }
@@ -53,7 +60,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.api import RunSpec
     from repro.driver.driver import RunResult
 
-ARTIFACT_SCHEMA_VERSION = 1
+ARTIFACT_SCHEMA_VERSION = 2
 
 
 def _spec_header(spec: "RunSpec") -> dict:
@@ -119,6 +126,7 @@ def result_to_artifact(
             "breakdown": dict(result.memory_breakdown),
             "device_peak_bytes": result.device_memory_peak,
         },
+        metrics=dict(result.metrics),
     )
     return doc
 

@@ -220,19 +220,27 @@ def build_packs(
 
 
 def build_numeric_pack(
-    mesh: Mesh, field_names: Sequence[str], flux_field: Optional[str] = None
+    mesh: Mesh,
+    field_names: Sequence[str],
+    flux_field: Optional[str] = None,
+    metrics=None,
 ) -> MeshBlockPack:
     """One contiguous, view-adopted pack over every block of the mesh.
 
     This is the packed execution engine's entry point: after this call the
     mesh's blocks alias pack storage (fields and, when ``flux_field`` is
     given, face fluxes), so fused kernels and per-block code see one
-    coherent state.
+    coherent state.  A :class:`repro.observability.MetricsRegistry` passed
+    as ``metrics`` records each rebuild and the pack's population (rebuild
+    frequency is the remesh-churn signal the pack cache exists to bound).
     """
     pack = MeshBlockPack(mesh.block_list, field_names, contiguous=True)
     pack.adopt_blocks()
     if flux_field is not None:
         pack.adopt_fluxes(flux_field)
+    if metrics is not None:
+        metrics.count("pack_rebuilds")
+        metrics.gauge("pack_blocks", len(pack))
     return pack
 
 

@@ -16,6 +16,7 @@ from repro.kokkos.memory import (
 )
 from repro.kokkos.profiler import Profiler
 from repro.kokkos.space import ExecutionSpace
+from repro.observability import NULL_RECORDER, TraceRecorder
 
 
 class TestSpaces:
@@ -129,7 +130,7 @@ class TestProfiler:
         assert list(prof.function_breakdown()) == ["big", "small"]
 
     def test_event_timeline_recorded(self):
-        prof = Profiler()
+        prof = Profiler(recorder=TraceRecorder())
         with prof.region("A"):
             prof.add_serial(1.0)
             prof.add_kernel("K", 2.0)
@@ -138,10 +139,19 @@ class TestProfiler:
         assert (r0, c0, k0, s0, d0) == ("A", "serial", None, 0.0, 1.0)
         assert (r1, c1, k1, s1, d1) == ("A", "kernel", "K", 1.0, 2.0)
 
+    def test_untraced_profiler_retains_no_events(self):
+        prof = Profiler()
+        assert prof.recorder is NULL_RECORDER
+        with prof.region("A"):
+            prof.add_serial(1.0)
+            prof.add_kernel("K", 2.0)
+        assert prof.events == []
+        assert prof.regions["A"].total == 3.0  # accounting unaffected
+
     def test_chrome_trace_export(self):
         import json
 
-        prof = Profiler()
+        prof = Profiler(recorder=TraceRecorder())
         with prof.region("Step"):
             prof.add_kernel("CalculateFluxes", 0.5)
             prof.add_serial(0.25)
@@ -240,6 +250,7 @@ class TestProfilerInvariants:
             initial_conditions=lambda mesh, pkg: gaussian_blob(
                 mesh, pkg, amplitude=0.8, width=0.15
             ),
+            recorder=TraceRecorder(),
         )
         driver.run(3)
         return driver.prof

@@ -1,0 +1,81 @@
+"""Golden-trace regression gates.
+
+The committed files under ``tests/golden/`` are the canonical-JSON
+exports of the mini deck (``examples/mini.in``) in both kernel modes.
+Any change to the simulated cost models, the driver's instrumentation
+points, the trace schema, or the metrics wiring shows up here as a byte
+diff — exactly the "every perf claim is pinned by a test" contract.
+
+Regenerate deliberately with::
+
+    PYTHONPATH=src python -m pytest tests/test_trace_golden.py --update-goldens
+"""
+
+import dataclasses
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.api import RunSpec, Simulation
+from repro.observability import (
+    diff_region_totals,
+    to_canonical_dict,
+    to_canonical_json,
+)
+from repro.observability.exporters import within_tolerance
+
+REPO = Path(__file__).resolve().parent.parent
+MINI_DECK = REPO / "examples" / "mini.in"
+GOLDEN = {
+    "packed": REPO / "tests" / "golden" / "trace_mini_packed.json",
+    "per_block": REPO / "tests" / "golden" / "trace_mini_per_block.json",
+}
+
+
+def mini_canonical(kernel_mode: str) -> str:
+    spec = RunSpec.from_file(MINI_DECK)
+    spec = spec.replace(
+        config=dataclasses.replace(spec.config, kernel_mode=kernel_mode)
+    )
+    sim = Simulation(spec, trace=True)
+    sim.run()
+    return to_canonical_json(sim.trace())
+
+
+class TestGoldenTraces:
+    @pytest.mark.parametrize("kernel_mode", ["packed", "per_block"])
+    def test_canonical_trace_matches_golden(self, kernel_mode, update_goldens):
+        text = mini_canonical(kernel_mode)
+        golden = GOLDEN[kernel_mode]
+        if update_goldens:
+            golden.write_text(text)
+            return
+        assert golden.exists(), (
+            f"missing golden {golden}; regenerate with --update-goldens"
+        )
+        assert text == golden.read_text(), (
+            f"canonical trace for kernel_mode={kernel_mode} deviates from "
+            f"{golden.name}; if the change is intentional, rerun with "
+            "--update-goldens and review the diff"
+        )
+
+    def test_two_consecutive_runs_byte_identical(self):
+        assert mini_canonical("packed") == mini_canonical("packed")
+
+    def test_kernel_modes_differ_but_schema_agrees(self):
+        doc_a = json.loads(GOLDEN["packed"].read_text())
+        doc_b = json.loads(GOLDEN["per_block"].read_text())
+        assert doc_a["schema_version"] == doc_b["schema_version"]
+        deltas = diff_region_totals(doc_a, doc_b)
+        # the launch-overhead ablation must move kernel-heavy regions
+        moved = {d.name for d in deltas if abs(d.rel) > 0.5}
+        assert "CalculateFluxes" in moved
+        assert not within_tolerance(deltas, 0.5)
+
+    def test_canonical_dict_round_trips_through_json(self):
+        spec = RunSpec.from_file(MINI_DECK)
+        sim = Simulation(spec, trace=True)
+        sim.run()
+        doc = to_canonical_dict(sim.trace())
+        assert json.loads(json.dumps(doc)) == doc

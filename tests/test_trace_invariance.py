@@ -1,0 +1,99 @@
+"""Tracing must observe, never perturb.
+
+The whole subsystem hangs off the simulated clock, so the gate is
+strict: a traced run and an untraced run of the same deck produce the
+*same* ``RunResult`` — FOM, region times, MPI counters, metrics — to
+0 ULP (``==`` on the floats, no tolerance).  And with no recorder
+attached, the profiler retains no per-event state at all, however long
+the run.
+"""
+
+import dataclasses
+
+from repro.api import RunSpec, Simulation
+from repro.driver.driver import ParthenonDriver
+from repro.driver.execution import ExecutionConfig
+from repro.driver.params import SimulationParams
+from repro.observability import NULL_RECORDER
+from repro.solver.initial_conditions import gaussian_blob
+
+MODELED_SPEC = RunSpec(
+    params=SimulationParams(
+        ndim=3, mesh_size=32, block_size=8, num_levels=2, num_scalars=2
+    ),
+    config=ExecutionConfig(backend="gpu", num_gpus=1, ranks_per_gpu=2),
+    ncycles=3,
+    warmup=1,
+)
+
+NUMERIC_SPEC = RunSpec(
+    params=SimulationParams(
+        ndim=2, mesh_size=32, block_size=8, num_levels=2, num_scalars=1
+    ),
+    config=ExecutionConfig(
+        backend="gpu", num_gpus=1, ranks_per_gpu=1, mode="numeric"
+    ),
+    ncycles=2,
+    warmup=1,
+)
+
+
+def blob(mesh, pkg):
+    gaussian_blob(mesh, pkg, amplitude=0.8, width=0.15)
+
+
+def assert_results_identical(a, b):
+    """Field-by-field 0-ULP equality on everything the paper reports."""
+    assert a.fom == b.fom
+    assert a.wall_seconds == b.wall_seconds
+    assert a.kernel_seconds == b.kernel_seconds
+    assert a.serial_seconds == b.serial_seconds
+    assert a.function_breakdown == b.function_breakdown
+    assert a.kernel_seconds_by_name == b.kernel_seconds_by_name
+    assert a.mpi_counters == b.mpi_counters
+    assert a.metrics == b.metrics
+    assert a.cells_communicated == b.cells_communicated
+    assert a.zone_cycles == b.zone_cycles
+    assert a.final_blocks == b.final_blocks
+    assert a.memory_breakdown == b.memory_breakdown
+    assert a.device_memory_peak == b.device_memory_peak
+
+
+class TestTracingInvariance:
+    def test_modeled_run_invariant_under_tracing(self):
+        untraced = Simulation(MODELED_SPEC).run()
+        traced_sim = Simulation(MODELED_SPEC, trace=True)
+        traced = traced_sim.run()
+        assert_results_identical(untraced, traced)
+        # the trace really recorded something (sum order differs from the
+        # region-dict sum, so this one is approximate, not 0 ULP)
+        assert abs(
+            traced_sim.trace().total_seconds - traced.wall_seconds
+        ) < 1e-12
+
+    def test_numeric_run_invariant_under_tracing(self):
+        untraced = Simulation(NUMERIC_SPEC, initial_conditions=blob).run()
+        traced = Simulation(
+            NUMERIC_SPEC, initial_conditions=blob, trace=True
+        ).run()
+        assert_results_identical(untraced, traced)
+        assert [dataclasses.astuple(h) for h in untraced.history] == [
+            dataclasses.astuple(h) for h in traced.history
+        ]
+
+
+class TestUntracedRetention:
+    def test_500_cycle_untraced_run_keeps_events_empty(self):
+        driver = ParthenonDriver(
+            SimulationParams(
+                ndim=2, mesh_size=16, block_size=8, num_levels=1,
+                num_scalars=1,
+            ),
+            ExecutionConfig(backend="cpu", cpu_ranks=2),
+        )
+        driver.run(500)
+        assert driver.prof.recorder is NULL_RECORDER
+        assert driver.prof.events == []
+        assert driver.prof.cycles == 500
+        # accounting itself is unaffected by the gate
+        assert driver.prof.total_seconds > 0.0
