@@ -29,7 +29,7 @@ import hashlib
 import json
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Callable, Dict, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Sequence, Union
 
 from repro import __version__
 from repro.driver.driver import ParthenonDriver, RunResult
@@ -37,6 +37,9 @@ from repro.driver.execution import ExecutionConfig, OptimizationFlags
 from repro.driver.input import parse_input, params_from_input, render_input
 from repro.driver.params import SimulationParams
 from repro.observability import Trace, TraceRecorder
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.resilience.faults import FaultInjector
 
 __all__ = [
     "ConfigError",
@@ -227,13 +230,19 @@ class RunSpec:
         OptimizationFlags, cycle counts, code version).
 
         Any field that changes the simulated outcome changes the key;
-        ``label`` does not participate.
+        ``label`` does not participate, and neither does
+        ``checkpoint_every`` — checkpoint cadence is observability, not
+        physics (the bitwise-resume guarantee), so turning checkpoints on
+        never invalidates a cached artifact.
         """
+        outcome_config = replace(self.config, checkpoint_every=0)
+        config_fields = dataclasses.asdict(outcome_config)
+        config_fields.pop("checkpoint_every", None)
         payload = {
             "code_version": __version__,
-            "deck": render_input(self.params, self.config),
+            "deck": render_input(self.params, outcome_config),
             "params": dataclasses.asdict(self.params),
-            "config": dataclasses.asdict(self.config),
+            "config": config_fields,
             "ncycles": self.ncycles,
             "warmup": self.warmup,
         }
@@ -269,6 +278,14 @@ class Simulation:
     discarded at the warmup boundary, like every other metric).  Tracing
     never changes the simulated outcome — the profiler-invariance test
     pins the traced and untraced ``RunResult`` equal to 0 ULP.
+
+    Resilience (DESIGN §9): ``checkpoint_dir`` enables crash-consistent
+    periodic checkpoints (cadence from ``config.checkpoint_every``, or
+    every cycle when the config leaves it 0); ``restart_from`` resumes
+    from a checkpoint directory / manifest instead of cycle 0, and the
+    resumed run's ``RunResult`` and canonical trace are bitwise identical
+    to an uninterrupted run's; ``fault_injector`` arms deterministic
+    fault sites inside the driver for resilience tests.
     """
 
     def __init__(
@@ -276,6 +293,9 @@ class Simulation:
         spec: RunSpec,
         initial_conditions: Optional[Callable] = None,
         trace: bool = False,
+        checkpoint_dir: Union[str, Path, None] = None,
+        restart_from: Union[str, Path, None] = None,
+        fault_injector: Optional["FaultInjector"] = None,
     ) -> None:
         if not isinstance(spec, RunSpec):
             raise ConfigError(
@@ -288,6 +308,14 @@ class Simulation:
         )
         self._driver: Optional[ParthenonDriver] = None
         self._result: Optional[RunResult] = None
+        self._checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir else None
+        self._restart_from = Path(restart_from) if restart_from else None
+        self._fault_injector = fault_injector
+        #: Cycle the driver resumed from (``restart_from``), else None.
+        self.resumed_from_cycle: Optional[int] = None
+        #: The :class:`repro.resilience.CheckpointManager` of the last
+        #: run, when checkpointing was enabled.
+        self.checkpointer = None
 
     @classmethod
     def from_deck(
@@ -295,6 +323,9 @@ class Simulation:
         deck: Union[str, Path],
         initial_conditions: Optional[Callable] = None,
         trace: bool = False,
+        checkpoint_dir: Union[str, Path, None] = None,
+        restart_from: Union[str, Path, None] = None,
+        fault_injector: Optional["FaultInjector"] = None,
         **overrides,
     ) -> "Simulation":
         """Build from deck text or a deck file path."""
@@ -304,17 +335,59 @@ class Simulation:
             spec = RunSpec.from_deck(deck, **overrides)
         else:
             spec = RunSpec.from_file(deck, **overrides)
-        return cls(spec, initial_conditions=initial_conditions, trace=trace)
+        return cls(
+            spec,
+            initial_conditions=initial_conditions,
+            trace=trace,
+            checkpoint_dir=checkpoint_dir,
+            restart_from=restart_from,
+            fault_injector=fault_injector,
+        )
+
+    def _restore_driver(self) -> ParthenonDriver:
+        from repro.driver.outputs import RestartError
+        from repro.resilience.checkpoint import read_checkpoint, restore_driver
+        from repro.observability.trace import TraceRecorder as _Recorder
+
+        payload = read_checkpoint(self._restart_from)
+        if payload["params"] != self.spec.params:
+            raise RestartError(
+                f"checkpoint {self._restart_from} was written for different "
+                f"simulation parameters than this spec"
+            )
+        if replace(payload["config"], checkpoint_every=0) != replace(
+            self.spec.config, checkpoint_every=0
+        ):
+            raise RestartError(
+                f"checkpoint {self._restart_from} was written for a "
+                f"different execution config than this spec"
+            )
+        driver = restore_driver(payload, fault_injector=self._fault_injector)
+        if self._recorder is not None:
+            if not isinstance(driver.prof.recorder, _Recorder):
+                raise RestartError(
+                    "cannot trace a resume from an untraced checkpoint; "
+                    "run the checkpointing simulation with trace=True"
+                )
+            # Adopt the restored recorder: it already holds the spans of
+            # the cycles that ran before the checkpoint.
+            self._recorder = driver.prof.recorder
+        self.resumed_from_cycle = payload["cycle"]
+        return driver
 
     @property
     def driver(self) -> ParthenonDriver:
         if self._driver is None:
-            self._driver = ParthenonDriver(
-                self.spec.params,
-                self.spec.config,
-                initial_conditions=self._initial_conditions,
-                recorder=self._recorder,
-            )
+            if self._restart_from is not None:
+                self._driver = self._restore_driver()
+            else:
+                self._driver = ParthenonDriver(
+                    self.spec.params,
+                    self.spec.config,
+                    initial_conditions=self._initial_conditions,
+                    recorder=self._recorder,
+                    fault_injector=self._fault_injector,
+                )
         return self._driver
 
     def run(self) -> RunResult:
@@ -326,9 +399,22 @@ class Simulation:
         """
         if self._result is not None:
             self._driver = None
-        if self._recorder is not None:
+        if self._recorder is not None and self._restart_from is None:
             self._recorder.clear()
-        self._result = self.driver.run(self.spec.ncycles, warmup=self.spec.warmup)
+        checkpointer = None
+        if self._checkpoint_dir is not None:
+            from repro.resilience.checkpoint import CheckpointManager
+
+            checkpointer = CheckpointManager(
+                self._checkpoint_dir,
+                every=self.spec.config.checkpoint_every or 1,
+            )
+        self.checkpointer = checkpointer
+        self._result = self.driver.run(
+            self.spec.ncycles,
+            warmup=self.spec.warmup,
+            checkpointer=checkpointer,
+        )
         return self._result
 
     def trace(self) -> Trace:

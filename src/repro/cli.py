@@ -3,6 +3,8 @@
 Usage::
 
     python -m repro run input.vibe [--cycles N]
+    python -m repro run input.vibe --checkpoint-every 2 --checkpoint-dir ck
+    python -m repro run input.vibe --restart-from ck   # bitwise resume
     python -m repro characterize --mesh 128 --block 16 --levels 3 \
         --backend gpu --gpus 1 --ranks 12 [--cycles N]
     python -m repro sweep {block,mesh,levels,gpu-ranks,cpu-ranks} [options]
@@ -32,6 +34,7 @@ from repro.api import (
     build_simulation_params,
 )
 from repro.core.characterize import kernel_fraction
+from repro.driver.outputs import RestartError
 from repro.core.report import (
     render_breakdown,
     render_campaign_summary,
@@ -127,10 +130,40 @@ def _print_result(result) -> None:
 
 
 def cmd_run(args) -> int:
-    sim = Simulation.from_deck(
-        args.input, ncycles=args.cycles, warmup=args.warmup
+    import dataclasses
+
+    spec = RunSpec.from_file(args.input, ncycles=args.cycles, warmup=args.warmup)
+    if args.checkpoint_every is not None:
+        try:
+            spec = spec.replace(
+                config=dataclasses.replace(
+                    spec.config, checkpoint_every=args.checkpoint_every
+                )
+            )
+        except ValueError as exc:
+            raise ConfigError(str(exc))
+    checkpoint_dir = args.checkpoint_dir
+    if checkpoint_dir is None and spec.config.checkpoint_every > 0:
+        checkpoint_dir = "checkpoints"
+    sim = Simulation(
+        spec,
+        checkpoint_dir=checkpoint_dir,
+        restart_from=args.restart_from,
     )
-    _print_result(sim.run())
+    result = sim.run()
+    if sim.resumed_from_cycle is not None:
+        print(
+            f"resumed from checkpoint at cycle {sim.resumed_from_cycle} "
+            f"({args.restart_from})",
+            file=sys.stderr,
+        )
+    _print_result(result)
+    if sim.checkpointer is not None and sim.checkpointer.written:
+        print(
+            f"\n{len(sim.checkpointer.written)} checkpoint(s) in "
+            f"{sim.checkpointer.directory}/ "
+            f"(latest: {sim.checkpointer.written[-1].name})"
+        )
     return 0
 
 
@@ -343,6 +376,7 @@ def cmd_campaign(args) -> int:
         retries=args.retries,
         timeout_s=args.timeout,
         progress=progress,
+        checkpoint_every=args.checkpoint_every,
     )
     print()
     print(render_campaign_summary(summary.artifacts))
@@ -363,6 +397,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_run.add_argument("input", help="path to the input deck")
     p_run.add_argument("--cycles", type=int, default=5)
     p_run.add_argument("--warmup", type=int, default=0)
+    p_run.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="N",
+        help="write a crash-consistent checkpoint every N cycles "
+        "(overrides the deck's <checkpoint> section; 0 disables)",
+    )
+    p_run.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="checkpoint directory (default: ./checkpoints when enabled)",
+    )
+    p_run.add_argument(
+        "--restart-from", default=None, metavar="PATH",
+        help="resume from a checkpoint: a manifest .json, payload .pkl, "
+        "or a checkpoint directory (resolves to the latest valid one); "
+        "the resumed run is bitwise identical to an uninterrupted one",
+    )
     p_run.set_defaults(fn=cmd_run)
 
     p_char = sub.add_parser(
@@ -464,6 +513,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="per-point wall-clock limit in seconds",
     )
     p_camp.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="N",
+        help="checkpoint each point every N cycles under "
+        "<dir>/checkpoints/<key>/ and resume crashed points from their "
+        "last checkpoint on retry (0 disables)",
+    )
+    p_camp.add_argument(
         "--preset", choices=("mini",), default=None,
         help="'mini' = the CI 2x2 mesh x block quick campaign",
     )
@@ -482,7 +537,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.fn(args)
-    except ConfigError as exc:
+    except (ConfigError, RestartError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -52,6 +52,7 @@ from repro.kokkos.profiler import Profiler
 from repro.kokkos.space import ExecutionSpace
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.trace import NullRecorder
+from repro.resilience.faults import FaultInjector, NULL_INJECTOR
 from repro.mesh.block import MeshBlock
 from repro.mesh.loadbalance import RedistributionPlan, balance
 from repro.mesh.mesh import Mesh
@@ -130,10 +131,17 @@ class ParthenonDriver:
         initial_conditions: Optional[Callable[[Mesh, BurgersPackage], None]] = None,
         raise_on_oom: bool = False,
         recorder: Optional[NullRecorder] = None,
+        fault_injector: Optional[FaultInjector] = None,
     ) -> None:
         self.params = params
         self.config = config
         self.raise_on_oom = raise_on_oom
+        #: Resilience-test hook (DESIGN §9): a no-op null injector unless
+        #: a test or campaign arms a FaultPlan.
+        self.fault_injector = fault_injector or NULL_INJECTOR
+        #: False until the warmup boundary has been crossed; checkpointed
+        #: so a resumed run knows whether reset_metrics already happened.
+        self._measuring = False
         self.pkg = BurgersPackage(params.ndim, params.burgers_config())
         numeric = config.mode == "numeric"
         self.mesh = Mesh(
@@ -255,6 +263,7 @@ class ParthenonDriver:
         wall time multiplies by the launches mapped to one GPU; on CPU every
         rank's core runs its own launches in parallel.
         """
+        self.fault_injector.check("kernel_launch", self.cycle)
         if cells <= 0:
             return
         if (
@@ -311,7 +320,12 @@ class ParthenonDriver:
 
     # -------------------------------------------------------------- cycle
 
-    def run(self, ncycles: int, warmup: int = 0) -> RunResult:
+    def run(
+        self,
+        ncycles: int,
+        warmup: int = 0,
+        checkpointer: Optional[object] = None,
+    ) -> RunResult:
         """Advance ``ncycles`` measured cycles (after ``warmup`` unmeasured
         ones) and report.
 
@@ -319,17 +333,29 @@ class ParthenonDriver:
         cycles reflect the steady-state block population; their time,
         traffic and zone-cycles are discarded, like the paper's practice of
         reporting steady per-cycle rates.
+
+        ``checkpointer`` (a :class:`repro.resilience.CheckpointManager`)
+        is offered the driver after every completed cycle; it persists
+        state on its own cadence.  The loop is resume-aware: a driver
+        restored from a checkpoint continues from its saved ``cycle`` /
+        ``prof.cycles`` — warmup cycles already done are not re-run, the
+        warmup-boundary metrics reset replays only if the checkpoint
+        predates it (``_measuring``), and exactly the remaining measured
+        cycles execute.  Checkpointing itself touches no profiler region
+        and no metric, so cadence cannot perturb the result.
         """
-        for _ in range(warmup):
-            if self.oom:
-                break
+        if not self._measuring:
+            while self.cycle < warmup and not self.oom:
+                self.do_cycle()
+                if checkpointer is not None:
+                    checkpointer.save(self)
+            if warmup:
+                self.reset_metrics()
+            self._measuring = True
+        while self.prof.cycles < ncycles and not self.oom:
             self.do_cycle()
-        if warmup:
-            self.reset_metrics()
-        for _ in range(ncycles):
-            if self.oom:
-                break
-            self.do_cycle()
+            if checkpointer is not None:
+                checkpointer.save(self)
         return self.result()
 
     def reset_metrics(self) -> None:
@@ -477,6 +503,7 @@ class ParthenonDriver:
                 self.serial_model.task_overhead(self.mesh.num_blocks)
             )
         with self.prof.region("SendBoundBufs"):
+            self.fault_injector.check("ghost_pack", self.cycle)
             self.pkg.registry.get_by_flag(Metadata.FILL_GHOST)
             self._charge_lookup()
             stats = self.bx.send_bound_bufs(fields)
@@ -509,6 +536,7 @@ class ParthenonDriver:
             transfer = stats.bytes_communicated / coll.bandwidth_bytes_s
             self._charge_divisible(transfer)
         with self.prof.region("SetBounds"):
+            self.fault_injector.check("ghost_unpack", self.cycle)
             set_stats = self.bx.set_bounds(fields)
             self._charge_divisible(
                 self.serial_model.set_bounds_setup(stats)
@@ -568,6 +596,7 @@ class ParthenonDriver:
                     internode=self.config.num_nodes > 1,
                 )
             )
+            self.fault_injector.check("remesh", self.cycle)
             remesh_stats = self.mesh.remesh(refine, derefine)
             changes = remesh_stats.refined_parents + remesh_stats.derefined_parents
             if changes:

@@ -80,8 +80,17 @@ class ExecutionConfig:
     cpu_spec: CPUSpec = SAPPHIRE_RAPIDS_8468
     calibration: Calibration = DEFAULT_CALIBRATION
     optimizations: OptimizationFlags = OptimizationFlags()
+    #: Write a crash-consistent checkpoint every N completed cycles
+    #: (0 disables).  Cadence never changes the simulated outcome — the
+    #: bitwise-resume guarantee, DESIGN §9 — so this field is excluded
+    #: from :meth:`repro.api.RunSpec.cache_key`.
+    checkpoint_every: int = 0
 
     def __post_init__(self) -> None:
+        if self.checkpoint_every < 0:
+            raise ValueError(
+                f"checkpoint_every must be >= 0, got {self.checkpoint_every}"
+            )
         if self.backend not in ("gpu", "cpu"):
             raise ValueError(f"backend must be 'gpu' or 'cpu', got {self.backend!r}")
         if self.mode not in ("modeled", "numeric"):

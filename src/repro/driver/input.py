@@ -131,6 +131,7 @@ def params_from_input(text: str) -> Tuple[SimulationParams, ExecutionConfig]:
         num_nodes=_get(s, "platform", "num_nodes", 1),
         mode=str(_get(s, "platform", "mode", "modeled")),
         kernel_mode=str(_get(s, "platform", "kernel_mode", "packed")),
+        checkpoint_every=_get(s, "checkpoint", "every", 0),
     )
     return params, config
 
@@ -177,4 +178,8 @@ def render_input(params: SimulationParams, config: ExecutionConfig) -> str:
         ]
     else:
         lines.append(f"cpu_ranks = {config.cpu_ranks}")
+    # Emitted only when enabled so decks without checkpointing render
+    # byte-identically to what they did before the section existed.
+    if config.checkpoint_every > 0:
+        lines += ["", "<checkpoint>", f"every = {config.checkpoint_every}"]
     return "\n".join(lines) + "\n"

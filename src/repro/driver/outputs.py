@@ -11,17 +11,27 @@
 
 from __future__ import annotations
 
+import os
+import zipfile
 from pathlib import Path
-from typing import List, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import __version__
 from repro.mesh.block import FieldSpec
 from repro.mesh.logical_location import LogicalLocation
 from repro.mesh.mesh import Mesh, MeshGeometry
 from repro.solver.history import HistoryRow
 
 PathLike = Union[str, Path]
+
+#: Restart archive layout version.  Bump when keys change shape/meaning.
+RESTART_SCHEMA_VERSION = 1
+
+
+class RestartError(RuntimeError):
+    """A restart/checkpoint archive is corrupt, truncated, or mismatched."""
 
 
 def write_history(path: PathLike, rows: Sequence[HistoryRow]) -> None:
@@ -76,11 +86,20 @@ def write_mesh_structure(path: PathLike, mesh: Mesh) -> None:
 def save_restart(
     path: PathLike, mesh: Mesh, cycle: int = 0, time: float = 0.0
 ) -> None:
-    """Serialize the numeric mesh state into an .npz archive."""
+    """Serialize the numeric mesh state into an .npz archive.
+
+    The write is crash-consistent: data lands in a temp file that is
+    fsync'ed and atomically renamed over ``path``, so a reader never
+    observes a truncated archive — it sees either the old file or the
+    new one.  The archive carries ``schema_version`` and ``code_version``
+    keys so :func:`load_restart` can reject incompatible layouts.
+    """
     if not mesh.allocate:
         raise ValueError("restart dumps require a numeric-mode mesh")
     geo = mesh.geometry
     payload = {
+        "schema_version": np.array([RESTART_SCHEMA_VERSION], dtype=np.int64),
+        "code_version": np.array([__version__]),
         "meta": np.array(
             [
                 geo.ndim,
@@ -106,55 +125,130 @@ def save_restart(
     for blk in mesh.block_list:
         for name, arr in blk.fields.items():
             payload[f"blk{blk.gid}/{name}"] = arr
-    np.savez_compressed(Path(path), **payload)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(path.suffix + f".tmp{os.getpid()}")
+    try:
+        with open(tmp, "wb") as f:
+            np.savez_compressed(f, **payload)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
 
 
-def load_restart(path: PathLike) -> Tuple[Mesh, int, float]:
+def load_restart(
+    path: PathLike, expected_geometry: Optional[MeshGeometry] = None
+) -> Tuple[Mesh, int, float]:
     """Rebuild a numeric mesh from a restart archive.
 
     Returns ``(mesh, cycle, time)``.  The tree is reconstructed by refining
-    down to each stored leaf, then data is copied in verbatim.
+    down to each stored leaf, then data is copied in verbatim — after
+    validating the archive: unreadable/truncated zips, unknown schema
+    versions, geometry that disagrees with ``expected_geometry`` (the
+    deck's), and block arrays whose shapes do not match the geometry all
+    raise :class:`RestartError` instead of adopting bad state.
     """
-    with np.load(Path(path), allow_pickle=False) as data:
-        ndim, mesh_size, block_size, ng, num_levels, cycle = (
-            int(v) for v in data["meta"]
-        )
-        time = float(data["time"][0])
-        specs = [
-            FieldSpec(str(name), int(nc))
-            for name, nc in zip(data["field_names"], data["field_ncomp"])
-        ]
-        geo = MeshGeometry(
-            ndim=ndim,
-            mesh_size=tuple(mesh_size if a < ndim else 1 for a in range(3)),
-            block_size=tuple(block_size if a < ndim else 1 for a in range(3)),
-            ng=ng,
-            num_levels=num_levels,
-        )
-        mesh = Mesh(geo, field_specs=specs, allocate=True)
-        # Stored in gid (Morton) order; keep that order for data mapping.
-        stored = [
-            (LogicalLocation(int(l), int(i), int(j), int(k)), int(rank))
-            for l, i, j, k, rank in data["locations"]
-        ]
-        # Reconstruct the tree: refine ancestors until every stored leaf
-        # exists, shallow leaves first so parents exist before children.
-        for lloc, _ in sorted(stored, key=lambda t: t[0].level):
-            while lloc not in mesh.tree.leaves:
-                probe = lloc
-                while probe.level > 0 and probe.parent() not in mesh.tree.leaves:
-                    probe = probe.parent()
-                if probe.level == 0:
-                    raise ValueError(f"stored leaf {lloc} outside the tree")
-                mesh.remesh(refine=[probe.parent()], derefine=[])
-        if len(mesh.block_list) != len(stored):
-            raise ValueError(
-                f"restart mismatch: rebuilt {len(mesh.block_list)} blocks, "
-                f"archive has {len(stored)}"
+    path = Path(path)
+    if not path.is_file():
+        raise RestartError(f"restart archive not found: {path}")
+    try:
+        handle = np.load(path, allow_pickle=False)
+    except (zipfile.BadZipFile, OSError, ValueError) as exc:
+        raise RestartError(
+            f"restart archive {path} is corrupt or truncated: {exc}"
+        ) from exc
+    with handle as data:
+        try:
+            keys = set(data.files)
+            required = {"meta", "time", "field_names", "field_ncomp",
+                        "locations"}
+            missing = required - keys
+            if missing:
+                raise RestartError(
+                    f"restart archive {path} is missing keys: "
+                    f"{', '.join(sorted(missing))}"
+                )
+            if "schema_version" in keys:
+                stored_schema = int(data["schema_version"][0])
+                if stored_schema != RESTART_SCHEMA_VERSION:
+                    raise RestartError(
+                        f"restart archive {path} has schema_version "
+                        f"{stored_schema}; this build reads "
+                        f"{RESTART_SCHEMA_VERSION}"
+                    )
+            ndim, mesh_size, block_size, ng, num_levels, cycle = (
+                int(v) for v in data["meta"]
             )
-        for gid, (lloc, rank) in enumerate(stored):
-            blk = mesh.block_at(lloc)
-            blk.rank = rank
-            for spec in specs:
-                blk.fields[spec.name][...] = data[f"blk{gid}/{spec.name}"]
+            time = float(data["time"][0])
+            specs = [
+                FieldSpec(str(name), int(nc))
+                for name, nc in zip(data["field_names"], data["field_ncomp"])
+            ]
+            geo = MeshGeometry(
+                ndim=ndim,
+                mesh_size=tuple(mesh_size if a < ndim else 1 for a in range(3)),
+                block_size=tuple(
+                    block_size if a < ndim else 1 for a in range(3)
+                ),
+                ng=ng,
+                num_levels=num_levels,
+            )
+            if expected_geometry is not None and geo != expected_geometry:
+                raise RestartError(
+                    f"restart archive {path} was written for geometry {geo}, "
+                    f"but the deck specifies {expected_geometry}"
+                )
+            mesh = Mesh(geo, field_specs=specs, allocate=True)
+            # Stored in gid (Morton) order; keep that order for data mapping.
+            stored = [
+                (LogicalLocation(int(l), int(i), int(j), int(k)), int(rank))
+                for l, i, j, k, rank in data["locations"]
+            ]
+            # Reconstruct the tree: refine ancestors until every stored leaf
+            # exists, shallow leaves first so parents exist before children.
+            for lloc, _ in sorted(stored, key=lambda t: t[0].level):
+                while lloc not in mesh.tree.leaves:
+                    probe = lloc
+                    while (
+                        probe.level > 0
+                        and probe.parent() not in mesh.tree.leaves
+                    ):
+                        probe = probe.parent()
+                    if probe.level == 0:
+                        raise RestartError(
+                            f"stored leaf {lloc} outside the tree"
+                        )
+                    mesh.remesh(refine=[probe.parent()], derefine=[])
+            if len(mesh.block_list) != len(stored):
+                raise RestartError(
+                    f"restart mismatch: rebuilt {len(mesh.block_list)} "
+                    f"blocks, archive has {len(stored)}"
+                )
+            for gid, (lloc, rank) in enumerate(stored):
+                blk = mesh.block_at(lloc)
+                blk.rank = rank
+                for spec in specs:
+                    key = f"blk{gid}/{spec.name}"
+                    if key not in keys:
+                        raise RestartError(
+                            f"restart archive {path} is missing block "
+                            f"array {key!r}"
+                        )
+                    arr = data[key]
+                    dest = blk.fields[spec.name]
+                    if arr.shape != dest.shape:
+                        raise RestartError(
+                            f"field {spec.name!r} of block {gid} has shape "
+                            f"{arr.shape}, geometry expects {dest.shape}"
+                        )
+                    dest[...] = arr
+        except RestartError:
+            raise
+        except (KeyError, zipfile.BadZipFile, OSError, ValueError) as exc:
+            raise RestartError(
+                f"restart archive {path} is corrupt: {exc}"
+            ) from exc
     return mesh, cycle, time

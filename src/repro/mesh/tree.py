@@ -80,6 +80,26 @@ class BlockTree:
             tuple(n << lvl for n in nroot) for lvl in range(num_levels + 1)
         ]
 
+    # ---------------------------------------------------------------- pickle
+
+    def __getstate__(self) -> dict:
+        """Canonicalize for pickling: the leaf *set* iterates in
+        hash-table order, which depends on insertion/deletion history, so
+        two equal trees could pickle to different bytes.  Serializing the
+        leaves as a sorted list makes checkpoint save→load→save
+        byte-stable (nothing in the simulation reads set order — block
+        traversal always goes through :meth:`leaves_sorted`)."""
+        state = dict(self.__dict__)
+        state["_leaves"] = sorted(
+            self._leaves, key=lambda l: (l.level, l.lx3, l.lx2, l.lx1)
+        )
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        state = dict(state)
+        state["_leaves"] = set(state["_leaves"])
+        self.__dict__.update(state)
+
     # ------------------------------------------------------------------ basic
 
     @property

@@ -8,12 +8,14 @@ campaign directory without re-running anything.  The document is
 wall-clock timestamps, so re-executing an identical spec reproduces the
 artifact byte-for-byte (the resume test relies on this).
 
-Schema (``schema_version`` 2; v2 added the ``metrics`` section — the
+Schema (``schema_version`` 3; v2 added the ``metrics`` section — the
 :class:`repro.observability.MetricsRegistry` snapshot with counters,
-gauges, histograms and the per-cycle counter series)::
+gauges, histograms and the per-cycle counter series; v3 added the
+*optional* ``resilience`` section, present only when a point resumed
+from a checkpoint or ran with a fault plan armed)::
 
     {
-      "schema_version": 2,
+      "schema_version": 3,
       "status": "ok" | "error",
       "cache_key": "<sha256 of the spec's canonical identity>",
       "code_version": "<repro.__version__>",
@@ -42,7 +44,12 @@ gauges, histograms and the per-cycle counter series)::
         "per_cycle": [{"cycle": N, "counters": {...}}, ...]
       },
       # status == "error" only:
-      "error": {"type": "...", "message": "...", "traceback": "..."}
+      "error": {"type": "...", "message": "...", "traceback": "..."},
+      # optional (v3) — resumed and/or fault-injected points only:
+      "resilience": {
+        "resumed_from_cycle": N,                 # retry resumed here
+        "faults": {"checks": {site: N}, "fired": {site: N}}
+      }
     }
 """
 
@@ -60,7 +67,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.api import RunSpec
     from repro.driver.driver import RunResult
 
-ARTIFACT_SCHEMA_VERSION = 2
+ARTIFACT_SCHEMA_VERSION = 3
 
 
 def _spec_header(spec: "RunSpec") -> dict:

@@ -20,7 +20,7 @@ import json
 import multiprocessing
 import os
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
@@ -28,8 +28,12 @@ from repro.api import RunSpec
 from repro.orchestration.artifacts import ARTIFACT_SCHEMA_VERSION
 from repro.orchestration.cache import RunCache
 from repro.orchestration.worker import PointTask, execute_point
+from repro.resilience import FaultPlan
 
 MANIFEST_NAME = "manifest.json"
+
+#: Per-point checkpoint trees live under ``<campaign>/checkpoints/<key>``.
+CHECKPOINT_SUBDIR = "checkpoints"
 
 #: ``progress(outcome)`` is invoked once per point as its fate is known.
 ProgressFn = Callable[["PointOutcome"], None]
@@ -132,6 +136,8 @@ def run_campaign(
     retries: int = 1,
     timeout_s: Optional[float] = None,
     progress: Optional[ProgressFn] = None,
+    checkpoint_every: int = 0,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> CampaignSummary:
     """Ensure every unique spec has an artifact under ``campaign_dir``.
 
@@ -141,12 +147,26 @@ def run_campaign(
     keeps failing after ``retries`` re-attempts — or exceeds
     ``timeout_s`` per attempt — contributes a structured error artifact
     and the campaign continues.
+
+    ``checkpoint_every > 0`` makes each point checkpoint every N cycles
+    under ``<campaign>/checkpoints/<cache_key>/`` and turns the retry
+    path into *resume*: a crashed or timed-out attempt restarts from its
+    last valid checkpoint instead of cycle 0, recorded in the artifact's
+    ``resilience.resumed_from_cycle``.  The cadence never changes a
+    point's cache key or simulated outcome (the bitwise-resume
+    guarantee).  ``fault_plan`` arms the same deterministic fault plan
+    inside every worker — the fault-injection test harness's entry
+    point.
     """
     start = time.perf_counter()
     if workers is None:
         workers = os.cpu_count() or 1
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    if checkpoint_every < 0:
+        raise ValueError(
+            f"checkpoint_every must be >= 0, got {checkpoint_every}"
+        )
     cache = RunCache(campaign_dir)
     unique = _dedupe(specs)
     _write_manifest(cache, unique)
@@ -171,8 +191,24 @@ def run_campaign(
         if cached is not None:
             record(key, PointOutcome(spec, cached, from_cache=True))
         else:
+            point_spec, ckpt_dir = spec, None
+            if checkpoint_every > 0:
+                ckpt_dir = str(
+                    Path(campaign_dir) / CHECKPOINT_SUBDIR / key
+                )
+                point_spec = spec.replace(
+                    config=replace(
+                        spec.config, checkpoint_every=checkpoint_every
+                    )
+                )
             pending.append(
-                PointTask(spec=spec, retries=retries, timeout_s=timeout_s)
+                PointTask(
+                    spec=point_spec,
+                    retries=retries,
+                    timeout_s=timeout_s,
+                    checkpoint_dir=ckpt_dir,
+                    fault_plan=fault_plan,
+                )
             )
     pending.sort(key=lambda t: _work_estimate(t.spec), reverse=True)
 

@@ -1,11 +1,23 @@
 """The unit of work a pool worker executes: one spec, fully isolated.
 
 ``execute_point`` never raises: any exception inside the simulated run —
-bad parameters, a numeric blow-up, a timeout — is retried up to the
-task's bound and then reduced to a structured error artifact, so one
-crashed point cannot kill a campaign.  The payload is a single picklable
-:class:`PointTask` (the ``RunSpec`` plus the retry/timeout policy), not
-a bag of kwargs.
+bad parameters, a numeric blow-up, a timeout, an injected fault — is
+retried up to the task's bound and then reduced to a structured error
+artifact, so one crashed point cannot kill a campaign.  The payload is a
+single picklable :class:`PointTask` (the ``RunSpec`` plus the
+retry/timeout/resilience policy), not a bag of kwargs.
+
+When the task carries a ``checkpoint_dir``, each attempt checkpoints at
+the spec's cadence and every *retry* resumes from the last valid
+checkpoint instead of cycle 0 — the artifact records the resume point in
+its ``resilience.resumed_from_cycle`` field, and the bitwise-resume
+guarantee (DESIGN §9) means the resumed artifact's simulated quantities
+are identical to an uninterrupted run's.
+
+One :class:`~repro.resilience.FaultInjector` is built per *task*, not
+per attempt: its counters persist across retries, so a ``max_fires=1``
+fault fires once, crashes one attempt, and stays quiet on the resume —
+exactly the transient-fault model the recovery path exists for.
 """
 
 from __future__ import annotations
@@ -18,6 +30,7 @@ from typing import Iterator, Optional
 
 from repro.api import RunSpec, Simulation
 from repro.orchestration.artifacts import error_artifact, result_to_artifact
+from repro.resilience import FaultInjector, FaultPlan, latest_checkpoint
 
 
 class PointTimeout(Exception):
@@ -33,6 +46,10 @@ class PointTask:
     retries: int = 0
     #: Per-attempt wall-clock limit in seconds (None = unlimited).
     timeout_s: Optional[float] = None
+    #: Where this point checkpoints (None disables checkpoint + resume).
+    checkpoint_dir: Optional[str] = None
+    #: Deterministic faults to arm inside this point's worker.
+    fault_plan: Optional[FaultPlan] = None
 
 
 @contextmanager
@@ -64,15 +81,58 @@ def _deadline(seconds: Optional[float]) -> Iterator[None]:
         signal.signal(signal.SIGALRM, previous)
 
 
+def _attach_resilience(
+    artifact: dict,
+    resumed_from_cycle: Optional[int],
+    injector: Optional[FaultInjector],
+) -> None:
+    """Add the optional ``resilience`` section (schema v3) when relevant."""
+    section: dict = {}
+    if resumed_from_cycle is not None:
+        section["resumed_from_cycle"] = resumed_from_cycle
+    if injector is not None and injector.armed:
+        section["faults"] = injector.counters.to_dict()
+    if section:
+        artifact["resilience"] = section
+
+
 def execute_point(task: PointTask) -> dict:
     """Run one point to an artifact — success or structured failure."""
+    injector = (
+        FaultInjector(task.fault_plan) if task.fault_plan is not None else None
+    )
     attempts = 0
+    resumed_from_cycle: Optional[int] = None
     while True:
         attempts += 1
+        sim: Optional[Simulation] = None
         try:
+            restart_from = None
+            if task.checkpoint_dir is not None and attempts > 1:
+                # Bounded-retry recovery: resume the crashed attempt from
+                # the last valid checkpoint, not from cycle 0.
+                restart_from = latest_checkpoint(task.checkpoint_dir)
+            sim = Simulation(
+                task.spec,
+                checkpoint_dir=task.checkpoint_dir,
+                restart_from=restart_from,
+                fault_injector=injector,
+            )
             with _deadline(task.timeout_s):
-                result = Simulation(task.spec).run()
-            return result_to_artifact(task.spec, result, attempts=attempts)
+                result = sim.run()
+            if sim.resumed_from_cycle is not None:
+                resumed_from_cycle = sim.resumed_from_cycle
+            if injector is not None:
+                injector.check("campaign_worker")
+            artifact = result_to_artifact(task.spec, result, attempts=attempts)
+            _attach_resilience(artifact, resumed_from_cycle, injector)
+            if injector is not None:
+                injector.check("artifact_write")
+            return artifact
         except Exception as exc:  # noqa: BLE001 — isolation is the contract
+            if sim is not None and sim.resumed_from_cycle is not None:
+                resumed_from_cycle = sim.resumed_from_cycle
             if attempts > task.retries:
-                return error_artifact(task.spec, exc, attempts=attempts)
+                artifact = error_artifact(task.spec, exc, attempts=attempts)
+                _attach_resilience(artifact, resumed_from_cycle, injector)
+                return artifact

@@ -1,0 +1,49 @@
+"""Resilience toolkit: fault injection + crash-consistent checkpoints.
+
+See DESIGN §9 for the checkpoint schema, the atomicity protocol, the
+fault-site registry, and the bitwise-resume guarantee.
+"""
+
+from repro.resilience.checkpoint import (
+    CHECKPOINT_SCHEMA_VERSION,
+    CheckpointError,
+    CheckpointManager,
+    capture_state,
+    latest_checkpoint,
+    list_checkpoints,
+    read_checkpoint,
+    restore_driver,
+    serialize_state,
+    write_checkpoint,
+)
+from repro.resilience.faults import (
+    FAULT_SITES,
+    FaultCounters,
+    FaultError,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    NULL_INJECTOR,
+)
+
+__all__ = [
+    "CHECKPOINT_SCHEMA_VERSION",
+    "CheckpointError",
+    "CheckpointManager",
+    "FAULT_SITES",
+    "FaultCounters",
+    "FaultError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "NULL_INJECTOR",
+    "capture_state",
+    "latest_checkpoint",
+    "list_checkpoints",
+    "read_checkpoint",
+    "restore_driver",
+    "serialize_state",
+    "write_checkpoint",
+]

@@ -267,7 +267,7 @@ class TestDriverIntegration:
     def test_artifact_carries_metrics(self):
         sim = Simulation(RunSpec(**MODELED))
         art = sim.artifact()
-        assert art["schema_version"] == 2
+        assert art["schema_version"] == 3
         assert art["metrics"]["counters"]["kernel_launches"] > 0
         json.dumps(art)
 

@@ -1,0 +1,132 @@
+"""Bitwise-resume differential harness (DESIGN §9).
+
+The resilience contract: a run killed at an arbitrary checkpointed cycle
+and resumed via ``restart_from`` must be *indistinguishable* from one
+that never stopped — ``RunResult`` equal at 0 ULP and the canonical
+trace byte-identical — in both kernel modes, for both the modeled mini
+deck and a real numeric configuration.
+
+Each case runs three simulations:
+
+1. **baseline** — uninterrupted, traced, no checkpointing at all;
+2. **killed** — checkpoint every cycle, with a deterministic
+   :class:`InjectedFault` armed at the kill cycle (the crash);
+3. **resumed** — ``restart_from`` the last valid checkpoint the killed
+   run left behind, run to completion.
+
+The resumed result/trace are compared against the *baseline* — so the
+assertions also prove that checkpoint I/O itself never perturbs the
+simulated outcome (no profiler spans, no metrics, no dt drift).
+"""
+
+import dataclasses
+from pathlib import Path
+
+import pytest
+
+from repro.api import RunSpec, Simulation, build_execution_config, build_simulation_params
+from repro.observability import to_canonical_json
+from repro.resilience import FaultInjector, FaultPlan, InjectedFault, latest_checkpoint
+
+REPO = Path(__file__).resolve().parent.parent
+MINI_DECK = REPO / "examples" / "mini.in"
+
+
+def _with(spec: RunSpec, **config_changes) -> RunSpec:
+    return spec.replace(
+        config=dataclasses.replace(spec.config, **config_changes)
+    )
+
+
+def _baseline(spec: RunSpec):
+    sim = Simulation(spec, trace=True)
+    result = sim.run()
+    return result, to_canonical_json(sim.trace())
+
+
+def _kill_and_resume(spec: RunSpec, kill_cycle: int, tmp_path: Path):
+    """Crash a checkpointing run at ``kill_cycle``, resume it, return
+    (resumed RunResult, resumed canonical trace, Simulation)."""
+    ckpt = tmp_path / f"ck_{spec.config.kernel_mode}_{kill_cycle}"
+    cspec = _with(spec, checkpoint_every=1)
+    killed = Simulation(
+        cspec,
+        trace=True,
+        checkpoint_dir=ckpt,
+        fault_injector=FaultInjector(
+            FaultPlan.single("kernel_launch", cycle=kill_cycle)
+        ),
+    )
+    with pytest.raises(InjectedFault):
+        killed.run()
+    manifest = latest_checkpoint(ckpt)
+    assert manifest is not None, "kill cycle left no checkpoint to resume"
+    resumed = Simulation(cspec, trace=True, restart_from=manifest)
+    result = resumed.run()
+    return result, to_canonical_json(resumed.trace()), resumed
+
+
+def _assert_bitwise_equal(base_result, base_trace, result, trace):
+    # The resumed config legitimately differs in checkpoint cadence and
+    # nothing else; every simulated quantity must match at 0 ULP.
+    assert dataclasses.replace(
+        result.config, checkpoint_every=0
+    ) == dataclasses.replace(base_result.config, checkpoint_every=0)
+    normalized = dataclasses.replace(result, config=base_result.config)
+    assert dataclasses.asdict(normalized) == dataclasses.asdict(base_result)
+    assert trace == base_trace
+
+
+class TestMiniDeckBitwiseResume:
+    """mini.in (modeled), both kernel modes, several kill cycles."""
+
+    @pytest.mark.parametrize("kernel_mode", ["packed", "per_block"])
+    @pytest.mark.parametrize("kill_cycle", [1, 2, 3])
+    def test_resume_is_bitwise_identical(
+        self, kernel_mode, kill_cycle, tmp_path
+    ):
+        spec = _with(RunSpec.from_file(MINI_DECK), kernel_mode=kernel_mode)
+        base_result, base_trace = _baseline(spec)
+        result, trace, sim = _kill_and_resume(spec, kill_cycle, tmp_path)
+        _assert_bitwise_equal(base_result, base_trace, result, trace)
+        assert sim.resumed_from_cycle == kill_cycle
+
+    @pytest.mark.parametrize("kernel_mode", ["packed", "per_block"])
+    def test_checkpointing_alone_is_invisible(self, kernel_mode, tmp_path):
+        """Cadence with no crash: same result/trace as no checkpointing."""
+        spec = _with(RunSpec.from_file(MINI_DECK), kernel_mode=kernel_mode)
+        base_result, base_trace = _baseline(spec)
+        sim = Simulation(
+            _with(spec, checkpoint_every=1),
+            trace=True,
+            checkpoint_dir=tmp_path / "ck",
+        )
+        result = sim.run()
+        _assert_bitwise_equal(
+            base_result, base_trace, result, to_canonical_json(sim.trace())
+        )
+        assert sim.checkpointer.written, "cadence produced no checkpoints"
+
+
+class TestNumericBitwiseResume:
+    """Real PDE data: the pack-invalidation state must survive resume."""
+
+    @pytest.mark.parametrize("kernel_mode", ["packed", "per_block"])
+    @pytest.mark.parametrize("kill_cycle", [1, 2])
+    def test_resume_is_bitwise_identical(
+        self, kernel_mode, kill_cycle, tmp_path
+    ):
+        params = build_simulation_params(
+            ndim=2, mesh_size=16, block_size=8, num_levels=2, num_scalars=1
+        )
+        config = build_execution_config(
+            mode="numeric",
+            kernel_mode=kernel_mode,
+            num_gpus=1,
+            ranks_per_gpu=2,
+        )
+        spec = RunSpec(params=params, config=config, ncycles=3, warmup=1)
+        base_result, base_trace = _baseline(spec)
+        result, trace, sim = _kill_and_resume(spec, kill_cycle, tmp_path)
+        _assert_bitwise_equal(base_result, base_trace, result, trace)
+        assert sim.resumed_from_cycle == kill_cycle
