@@ -1,4 +1,5 @@
-"""Packed vs per-block numeric kernel execution (the Fig. 1c mechanism).
+"""Packed vs per-block numeric kernel execution (the Fig. 1c mechanism),
+now swept across every available kernel backend.
 
 The paper attributes the GPU's collapse at small MeshBlock sizes to per-block
 kernel-launch overhead, which Parthenon's MeshBlockPack amortizes by sweeping
@@ -7,14 +8,25 @@ that mechanism in Python: per-block kernels pay interpreter and NumPy
 dispatch overhead once per block, the packed engine once per pack.  This
 benchmark measures the real wall-clock effect on the CalculateFluxes stage
 (reconstruction + Riemann — the paper's hottest kernel) across the Fig. 5
-block-size sweep, and verifies the two paths agree numerically.
+block-size sweep, verifies every engine agrees numerically, and emits the
+machine-readable ``BENCH_kernels.json`` perf-trajectory file at the repo
+root: one entry per (engine, block size) with the flux-stage time, the
+speedup against the packed numpy reference, and the cell throughput.
 
-Acceptance: >= 2x speedup at block size 16^3 at paper scale.
+Backends whose runtime dependency is missing are listed in the JSON as
+unavailable but not timed (the unjitted numba loops would measure the
+Python interpreter, not the engine).
+
+Acceptance: >= 2x packed-vs-per-block speedup at block size 16^3 at paper
+scale, and — when numba is importable — >= 5x numba-vs-packed-numpy
+flux-stage speedup at block size 32^3.
 """
 
 from __future__ import annotations
 
+import json
 import time
+from pathlib import Path
 
 import numpy as np
 
@@ -24,14 +36,13 @@ from repro.comm.bvals import BoundaryExchange
 from repro.comm.mpi import SimMPI
 from repro.core.report import render_table
 from repro.driver.params import SimulationParams
-from repro.mesh.mesh import Mesh
-from repro.solver.burgers import (
-    BASE,
-    BurgersPackage,
-    CONSERVED,
-    DERIVED,
-    PackedBurgersKernels,
+from repro.kernels.backends import (
+    available_backends,
+    backend_names,
+    get_backend,
 )
+from repro.mesh.mesh import Mesh
+from repro.solver.burgers import BASE, BurgersPackage, CONSERVED, DERIVED
 from repro.solver.initial_conditions import gaussian_blob
 from repro.solver.packs import build_numeric_pack
 
@@ -42,6 +53,11 @@ REPS = 3 if SCALE["quick"] else 9
 #: Required flux-stage speedup at block 16 (relaxed at quick scale, where the
 #: tiny rep count makes timings noisy).
 MIN_SPEEDUP_B16 = 1.2 if SCALE["quick"] else 2.0
+#: Required numba-over-numpy flux-stage speedup at block 32 (single-block
+#: pack: pure kernel arithmetic, no pack-traversal overhead in either path).
+MIN_NUMBA_SPEEDUP_B32 = 5.0
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
 
 
 def _setup(block_size: int):
@@ -68,7 +84,13 @@ def _timed(fn) -> float:
 
 
 def _measure(block_size: int):
-    """(per_block_s, packed_s, worst flux deviation) for one block size."""
+    """Flux-stage times for one block size.
+
+    Returns ``(times, worst)``: ``times`` maps ``per_block`` and every
+    available backend name to its best-of-REPS flux-stage seconds;
+    ``worst`` is the worst per-engine flux deviation from the per-block
+    reference.
+    """
     mesh, pkg = _setup(block_size)
 
     def per_block():
@@ -76,7 +98,6 @@ def _measure(block_size: int):
             pkg.calculate_fluxes(blk)
 
     per_block()  # warm caches and per-block flux allocations
-    t_per_block = _timed(per_block)
     reference = [
         [np.array(f) for f in blk.fluxes[CONSERVED] if f is not None]
         for blk in mesh.block_list
@@ -85,57 +106,111 @@ def _measure(block_size: int):
     pack = build_numeric_pack(
         mesh, (CONSERVED, BASE, DERIVED), flux_field=CONSERVED
     )
-    engine = PackedBurgersKernels(pkg)
+    engines = {
+        name: get_backend(name).create_kernels(pkg)
+        for name in available_backends()
+    }
 
-    def packed():
-        engine.calculate_fluxes(pack)
+    def packed(engine):
+        return lambda: engine.calculate_fluxes(pack)
 
-    packed()  # warm scratch allocations
-    t_packed = _timed(packed)
-    # Interleave the remaining reps so clock drift and background noise hit
-    # both paths symmetrically; keep the per-path minimum.
-    for _ in range(REPS - 1):
-        t_per_block = min(t_per_block, _timed(per_block))
-        t_packed = min(t_packed, _timed(packed))
     worst = 0.0
-    for b, blk in enumerate(mesh.block_list):
-        for ref, got in zip(reference[b], blk.fluxes[CONSERVED]):
-            worst = max(worst, float(np.max(np.abs(ref - got))))
-    return t_per_block, t_packed, worst
+    runners = {"per_block": per_block}
+    runners.update({name: packed(eng) for name, eng in engines.items()})
+    times = {}
+    for name, fn in runners.items():
+        fn()  # warm scratch allocations (and the numba JIT compile)
+        times[name] = _timed(fn)
+        if name != "per_block":
+            # Block flux views alias the pack flux storage the engine
+            # just wrote, so the per-block reference checks every engine.
+            for b, blk in enumerate(mesh.block_list):
+                for ref, got in zip(reference[b], blk.fluxes[CONSERVED]):
+                    worst = max(worst, float(np.max(np.abs(ref - got))))
+    # Interleave the remaining reps so clock drift and background noise hit
+    # every path symmetrically; keep the per-path minimum.
+    for _ in range(REPS - 1):
+        for name, fn in runners.items():
+            times[name] = min(times[name], _timed(fn))
+    return times, worst
+
+
+def _write_bench_json(entries: list) -> None:
+    doc = {
+        "schema": "repro.bench_kernels",
+        "schema_version": 1,
+        "scale": "quick" if SCALE["quick"] else "paper",
+        "mesh": MESH,
+        "ndim": 3,
+        "reps": REPS,
+        "timing": "min over reps of one CalculateFluxes sweep (seconds)",
+        "backends": {
+            name: name in available_backends() for name in backend_names()
+        },
+        "entries": entries,
+    }
+    BENCH_JSON.write_text(json.dumps(doc, sort_keys=True, indent=2) + "\n")
 
 
 def test_packed_flux_speedup(benchmark, save_report):
     def run():
         rows = []
-        speedups = {}
+        entries = []
+        speedups = {}  # packed numpy over per_block, per block size
+        numba_speedups = {}  # numba over packed numpy, per block size
         for block in BLOCK_SIZES:
-            t_pb, t_pk, dev = _measure(block)
-            nblocks = (MESH // block) ** 3
-            speedups[block] = t_pb / t_pk
-            rows.append(
-                [
-                    block,
-                    nblocks,
-                    f"{t_pb * 1e3:.2f}",
-                    f"{t_pk * 1e3:.2f}",
-                    f"{speedups[block]:.2f}x",
-                    f"{dev:.1e}",
-                ]
-            )
+            times, dev = _measure(block)
             assert dev < 1e-12, (
                 f"packed fluxes diverge from per-block at block {block}: {dev}"
             )
+            nblocks = (MESH // block) ** 3
+            cells = MESH**3  # interior zones swept per flux call
+            t_ref = times["numpy"]
+            speedups[block] = times["per_block"] / t_ref
+            if "numba" in times:
+                numba_speedups[block] = t_ref / times["numba"]
+            for name, seconds in times.items():
+                entries.append(
+                    {
+                        "engine": name,
+                        "kernel_mode": (
+                            "per_block" if name == "per_block" else "packed"
+                        ),
+                        "block_size": block,
+                        "nblocks": nblocks,
+                        "seconds": seconds,
+                        "speedup_vs_packed_numpy": t_ref / seconds,
+                        "cells_per_s": cells / seconds,
+                        "max_flux_deviation": dev,
+                    }
+                )
+                rows.append(
+                    [
+                        block,
+                        name,
+                        f"{seconds * 1e3:.2f}",
+                        f"{t_ref / seconds:.2f}x",
+                        f"{cells / seconds:.3e}",
+                    ]
+                )
+        _write_bench_json(entries)
         assert speedups[16] >= MIN_SPEEDUP_B16, (
             f"packed CalculateFluxes speedup at 16^3 is {speedups[16]:.2f}x, "
             f"need >= {MIN_SPEEDUP_B16}x"
         )
+        if "numba" in available_backends() and not SCALE["quick"]:
+            assert numba_speedups[32] >= MIN_NUMBA_SPEEDUP_B32, (
+                f"numba flux-stage speedup at 32^3 is "
+                f"{numba_speedups[32]:.2f}x over packed numpy, "
+                f"need >= {MIN_NUMBA_SPEEDUP_B32}x"
+            )
         return render_table(
-            ["block", "nblocks", "per_block_ms", "packed_ms", "speedup", "max_dev"],
+            ["block", "engine", "flux_ms", "vs_packed_numpy", "cells_per_s"],
             rows,
             title=(
-                f"Packed vs per-block CalculateFluxes (mesh {MESH}^3, "
-                "numeric, min of "
-                f"{REPS} reps; launch amortization per Section II-C)"
+                f"CalculateFluxes by engine (mesh {MESH}^3, numeric, min of "
+                f"{REPS} reps; launch amortization per Section II-C; "
+                f"JSON trajectory at {BENCH_JSON.name})"
             ),
         )
 

@@ -63,6 +63,7 @@ VALID_CHOICES: Dict[str, Sequence[str]] = {
     "backend": ("gpu", "cpu"),
     "mode": ("modeled", "numeric"),
     "kernel_mode": ("packed", "per_block"),
+    "kernel_backend": ("numpy", "numba", "cupy"),
     "reconstruction": ("weno5", "plm"),
     "riemann": ("hll", "llf"),
 }
@@ -127,7 +128,7 @@ def build_execution_config(
     valid = [f.name for f in dataclasses.fields(ExecutionConfig)]
     valid.remove("optimizations")
     _check_names("execution", options, valid)
-    for option in ("backend", "mode", "kernel_mode"):
+    for option in ("backend", "mode", "kernel_mode", "kernel_backend"):
         if option in options:
             _check_choice(option, options[option])
     if isinstance(optimizations, dict):
@@ -434,6 +435,10 @@ class Simulation:
         meta = {
             "backend": c.backend,
             "block_size": p.block_size,
+            # Effective engine (post-fallback), not the request: golden
+            # traces must be invariant to which backends are installed
+            # apart from this one field.
+            "kernel_backend": self.driver.kernel_backend,
             "kernel_mode": c.kernel_mode,
             "label": self.spec.label,
             "mesh_size": p.mesh_size,

@@ -68,6 +68,12 @@ def _add_config_args(p: argparse.ArgumentParser) -> None:
         help="one fused launch per MeshBlockPack, or one per block "
         "(the launch-overhead ablation)",
     )
+    p.add_argument(
+        "--kernel-backend", choices=("numpy", "numba", "cupy"),
+        default="numpy",
+        help="engine for packed numeric kernels; unavailable backends "
+        "fall back to numpy with a one-time warning",
+    )
 
 
 def _build_config(args, **overrides):
@@ -76,6 +82,7 @@ def _build_config(args, **overrides):
         num_nodes=args.nodes,
         mode=getattr(args, "mode", "modeled"),
         kernel_mode=getattr(args, "kernel_mode", "packed"),
+        kernel_backend=getattr(args, "kernel_backend", "numpy"),
     )
     if args.backend == "gpu":
         options.update(num_gpus=args.gpus, ranks_per_gpu=args.ranks)
@@ -230,6 +237,12 @@ def cmd_trace(args) -> int:
     if args.kernel_mode:
         spec = spec.replace(
             config=dataclasses.replace(spec.config, kernel_mode=args.kernel_mode)
+        )
+    if args.kernel_backend:
+        spec = spec.replace(
+            config=dataclasses.replace(
+                spec.config, kernel_backend=args.kernel_backend
+            )
         )
     sim = Simulation(spec, trace=True)
     sim.run()
@@ -452,6 +465,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="override the deck's kernel mode",
     )
     p_trace.add_argument(
+        "--kernel-backend", choices=("numpy", "numba", "cupy"), default=None,
+        help="override the deck's kernel backend",
+    )
+    p_trace.add_argument(
         "--diff", nargs=2, metavar=("A", "B"),
         help="compare two canonical trace JSON files; exit 1 if any "
         "region's total differs by more than --tolerance",
@@ -496,6 +513,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_camp.add_argument("--mode", choices=("modeled", "numeric"), default="modeled")
     p_camp.add_argument(
         "--kernel-mode", choices=("packed", "per_block"), default="packed"
+    )
+    p_camp.add_argument(
+        "--kernel-backend", choices=("numpy", "numba", "cupy"),
+        default="numpy",
     )
     p_camp.add_argument(
         "--dir", required=True, help="campaign directory (artifacts + cache)"

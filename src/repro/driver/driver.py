@@ -57,13 +57,13 @@ from repro.mesh.block import MeshBlock
 from repro.mesh.loadbalance import RedistributionPlan, balance
 from repro.mesh.mesh import Mesh
 from repro.mesh.refinement import AmrFlag, RefinementPolicy, SphericalWavefrontTagger
+from repro.kernels.backends import resolve_backend
 from repro.solver.advance import RK2_STAGES
 from repro.solver.burgers import (
     BASE,
     BurgersPackage,
     CONSERVED,
     DERIVED,
-    PackedBurgersKernels,
 )
 from repro.solver.history import HistoryRow, reduce_history
 from repro.solver.packs import MeshBlockPack, build_numeric_pack
@@ -119,6 +119,10 @@ class RunResult:
     #: histograms, per-cycle counter series) — the run-artifact's
     #: ``metrics`` section.
     metrics: Dict[str, object] = field(default_factory=dict)
+    #: *Effective* kernel backend the numeric packed kernels ran on
+    #: ("numpy" after a fallback, and always "numpy" for per_block or
+    #: modeled runs); ``config.kernel_backend`` records the request.
+    kernel_backend: str = "numpy"
 
 
 class ParthenonDriver:
@@ -188,11 +192,16 @@ class ParthenonDriver:
         #: lazily and only when the mesh's block population changes.
         self._pack: Optional[MeshBlockPack] = None
         self.pack_rebuilds = 0
-        self._packed: Optional[PackedBurgersKernels] = (
-            PackedBurgersKernels(self.pkg)
-            if numeric and config.kernel_mode == "packed"
-            else None
-        )
+        #: Effective kernel backend: the registry resolution of
+        #: ``config.kernel_backend`` (falls back to "numpy" when the
+        #: requested engine is unavailable).  Per-block and modeled runs
+        #: always execute the reference math, hence "numpy".
+        self.kernel_backend = "numpy"
+        self._packed = None
+        if numeric and config.kernel_mode == "packed":
+            backend = resolve_backend(config.kernel_backend)
+            self.kernel_backend = backend.name
+            self._packed = backend.create_kernels(self.pkg)
         if numeric and initial_conditions is not None:
             initial_conditions(self.mesh, self.pkg)
         self._update_memory()
@@ -408,7 +417,7 @@ class ParthenonDriver:
             if istage == 0:
                 with self.prof.region("WeightedSumData"):
                     if self.use_packed:
-                        PackedBurgersKernels.save_base(self._get_pack())
+                        self._packed.save_base(self._get_pack())
                     elif self.numeric:
                         for blk in self.mesh.block_list:
                             self.pkg.save_base(blk)
@@ -829,4 +838,5 @@ class ParthenonDriver:
                 for f in dataclasses.fields(self.mpi.total)
             },
             metrics=self.metrics.to_dict(),
+            kernel_backend=self.kernel_backend,
         )

@@ -131,6 +131,7 @@ def params_from_input(text: str) -> Tuple[SimulationParams, ExecutionConfig]:
         num_nodes=_get(s, "platform", "num_nodes", 1),
         mode=str(_get(s, "platform", "mode", "modeled")),
         kernel_mode=str(_get(s, "platform", "kernel_mode", "packed")),
+        kernel_backend=str(_get(s, "platform", "kernel_backend", "numpy")),
         checkpoint_every=_get(s, "checkpoint", "every", 0),
     )
     return params, config
@@ -171,6 +172,13 @@ def render_input(params: SimulationParams, config: ExecutionConfig) -> str:
         f"kernel_mode = {config.kernel_mode}",
         f"num_nodes = {config.num_nodes}",
     ]
+    # Emitted only when non-default so pre-registry decks render
+    # byte-identically (same convention as the <checkpoint> section).
+    if config.kernel_backend != "numpy":
+        lines.insert(
+            lines.index(f"kernel_mode = {config.kernel_mode}") + 1,
+            f"kernel_backend = {config.kernel_backend}",
+        )
     if config.is_gpu:
         lines += [
             f"num_gpus = {config.num_gpus}",

@@ -1,0 +1,40 @@
+"""Kernel backend registry: ``numpy`` (reference), ``numba``, ``cupy``.
+
+Importing this package registers every built-in backend.  Selection goes
+through :func:`resolve_backend`, which degrades to the ``numpy``
+reference (with a one-time :class:`BackendUnavailableWarning`) when a
+requested backend's runtime dependency is missing.
+"""
+
+from repro.kernels.backends.base import (
+    BackendUnavailableWarning,
+    FALLBACK_BACKEND,
+    KNOWN_BACKENDS,
+    KernelBackend,
+    UnknownBackendError,
+    available_backends,
+    backend_names,
+    get_backend,
+    register_backend,
+    reset_unavailable_warnings,
+    resolve_backend,
+)
+
+# Importing the implementation modules self-registers each backend.
+from repro.kernels.backends import numpy_backend as _numpy_backend  # noqa: F401
+from repro.kernels.backends import numba_backend as _numba_backend  # noqa: F401
+from repro.kernels.backends import cupy_backend as _cupy_backend  # noqa: F401
+
+__all__ = [
+    "BackendUnavailableWarning",
+    "FALLBACK_BACKEND",
+    "KNOWN_BACKENDS",
+    "KernelBackend",
+    "UnknownBackendError",
+    "available_backends",
+    "backend_names",
+    "get_backend",
+    "register_backend",
+    "reset_unavailable_warnings",
+    "resolve_backend",
+]

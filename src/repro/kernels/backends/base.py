@@ -1,0 +1,155 @@
+"""Backend registry and the :class:`KernelBackend` protocol.
+
+A *backend* supplies the packed flux-stage engine — WENO5/PLM
+reconstruction and HLL/LLF Riemann solves over one contiguous
+:class:`repro.solver.packs.MeshBlockPack` — plus the non-flux pack stages
+(divergence/update, FillDerived, save-base, timestep reduce).  Backends
+register themselves at import time; the driver resolves the configured
+name through :func:`resolve_backend`, which falls back to ``numpy`` with
+a one-time structured warning when the requested engine's runtime
+dependency is missing (graceful degradation, not an error — the same
+deck must run on every platform).
+
+Numerical contract (pinned by ``tests/test_backend_parity.py``): every
+backend agrees with the ``numpy`` reference at ``atol = 1e-13`` on the
+flux stage, is *bitwise* identical on the non-flux stages, and leaves
+the canonical golden trace byte-identical apart from the
+``kernel_backend`` metadata field.
+"""
+
+from __future__ import annotations
+
+import warnings
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Dict, List, Tuple, Type
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.solver.burgers import BurgersPackage
+
+#: Backend names the configuration layer accepts.  Membership here means
+#: "a valid choice", not "importable right now" — see ``available()``.
+KNOWN_BACKENDS: Tuple[str, ...] = ("numpy", "numba", "cupy")
+
+#: The always-available reference engine every other backend must match.
+FALLBACK_BACKEND = "numpy"
+
+
+class UnknownBackendError(ValueError):
+    """A backend name outside :data:`KNOWN_BACKENDS` (typo, not a missing
+    dependency)."""
+
+
+class BackendUnavailableWarning(UserWarning):
+    """A *valid* backend was requested but its runtime dependency is
+    missing; the run proceeds on the ``numpy`` fallback."""
+
+
+class KernelBackend(ABC):
+    """One packed-execution engine the driver can dispatch to.
+
+    Subclasses set :attr:`name`, implement :meth:`create_kernels` (the
+    factory for a per-driver kernel-engine instance) and
+    :meth:`available` (a cheap dependency probe that must not raise).
+    The engine object returned by :meth:`create_kernels` provides the
+    pack-stage protocol::
+
+        calculate_fluxes(pack)
+        flux_divergence_and_update(pack, gam0, gam1, beta_dt)
+        fill_derived(pack)
+        save_base(pack)
+        estimate_timestep(pack) -> per-block dt array
+    """
+
+    #: Registry key; must be a member of :data:`KNOWN_BACKENDS`.
+    name: str = ""
+
+    @classmethod
+    def available(cls) -> bool:
+        """Whether this backend's runtime dependency is importable."""
+        return True
+
+    @abstractmethod
+    def create_kernels(self, pkg: "BurgersPackage"):
+        """Build this backend's kernel engine for one physics package."""
+
+
+_REGISTRY: Dict[str, KernelBackend] = {}
+
+#: Backend names whose unavailability has already been warned about —
+#: process-global so repeated driver construction (campaign workers,
+#: pack rebuilds, checkpoint restores) warns exactly once per process.
+_WARNED: set = set()
+
+
+def register_backend(cls: Type[KernelBackend]) -> Type[KernelBackend]:
+    """Class decorator: instantiate and register a backend under its name.
+
+    Registration is idempotent per name (re-imports win), but the name
+    must be pre-declared in :data:`KNOWN_BACKENDS` so the config layer
+    and the registry can never disagree about the valid choices.
+    """
+    if cls.name not in KNOWN_BACKENDS:
+        raise ValueError(
+            f"backend {cls.name!r} is not declared in KNOWN_BACKENDS "
+            f"{KNOWN_BACKENDS}; add it there first"
+        )
+    _REGISTRY[cls.name] = cls()
+    return cls
+
+
+def backend_names() -> List[str]:
+    """All registered backend names, in :data:`KNOWN_BACKENDS` order."""
+    return [n for n in KNOWN_BACKENDS if n in _REGISTRY]
+
+
+def available_backends() -> List[str]:
+    """Registered backends whose runtime dependency is importable."""
+    return [n for n in backend_names() if _REGISTRY[n].available()]
+
+
+def _suggest(given: str) -> str:
+    import difflib
+
+    close = difflib.get_close_matches(
+        given, list(KNOWN_BACKENDS), n=1, cutoff=0.5
+    )
+    return f" (did you mean {close[0]!r}?)" if close else ""
+
+
+def get_backend(name: str) -> KernelBackend:
+    """The registered backend for ``name``, or :class:`UnknownBackendError`
+    with a did-you-mean suggestion (the ``repro.api`` builder convention)."""
+    backend = _REGISTRY.get(name)
+    if backend is None:
+        raise UnknownBackendError(
+            f"invalid kernel_backend {name!r}; valid choices: "
+            f"{', '.join(backend_names())}{_suggest(str(name))}"
+        )
+    return backend
+
+
+def resolve_backend(name: str) -> KernelBackend:
+    """``get_backend(name)`` with graceful fallback to ``numpy``.
+
+    Unknown names still raise (a typo should never silently run the
+    fallback); a known-but-unavailable backend degrades to ``numpy`` and
+    emits :class:`BackendUnavailableWarning` exactly once per process.
+    """
+    backend = get_backend(name)
+    if backend.available():
+        return backend
+    if name not in _WARNED:
+        _WARNED.add(name)
+        warnings.warn(
+            f"kernel_backend {name!r} is unavailable (missing runtime "
+            f"dependency); falling back to {FALLBACK_BACKEND!r}. This "
+            f"warning fires once per process.",
+            BackendUnavailableWarning,
+            stacklevel=2,
+        )
+    return _REGISTRY[FALLBACK_BACKEND]
+
+
+def reset_unavailable_warnings() -> None:
+    """Forget which backends have warned (test isolation helper)."""
+    _WARNED.clear()

@@ -1,0 +1,205 @@
+"""The ``numba`` backend: JIT-compiled fused stencil loops.
+
+Where the ``numpy`` engine streams whole-pack arrays through a dozen
+vectorized passes (one GEMM, one coefficient-form Riemann solve, several
+elementwise epilogues), this backend fuses reconstruction and the Riemann
+solve into *one* pass per face: a single ``@njit(parallel=True)`` sweep
+walks every pencil of every block, keeps the 5-cell stencil window in
+registers, and writes the finished flux — no intermediate face-state
+arrays at all.  ``cache=True`` persists the compiled machine code across
+processes so steady-state dispatch costs one dict lookup.
+
+Import is always safe: when numba is missing, ``njit`` degrades to an
+identity decorator and ``prange`` to ``range``, so the loop bodies below
+remain plain Python — the differential tests exercise them (slowly but
+exactly) in numpy-only environments, while :meth:`NumbaBackend.available`
+keeps the registry from selecting the backend for real runs.  (Calling
+``numba.prange`` outside a jitted context returns ``range`` too, so the
+same tests cover the source lines when numba *is* installed.)
+
+Numerical contract: the scalar algebra below restates
+:func:`repro.solver.reconstruction.weno5_states_along` /
+``plm_states_along`` and the textbook HLL/LLF solvers term for term, so
+agreement with the ``numpy`` engine is at rounding level — pinned at
+``atol = 1e-13`` by ``tests/test_backend_parity.py``.  All non-flux
+stages are inherited from :class:`PackedBurgersKernels` unchanged and
+stay bitwise-identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.backends.base import KernelBackend, register_backend
+from repro.kernels.backends.numpy_backend import PackedBurgersKernels
+from repro.solver.burgers import CONSERVED
+from repro.solver.reconstruction import WENO_EPS
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit, prange
+
+    NUMBA_AVAILABLE = True
+except ImportError:  # numpy-only environment: keep pure-Python bodies
+    NUMBA_AVAILABLE = False
+    prange = range
+
+    def njit(*args, **kwargs):
+        if args and callable(args[0]):
+            return args[0]
+
+        def decorate(fn):
+            return fn
+
+        return decorate
+
+
+@njit(cache=True, inline="always")
+def _weno5_edge(qm2, qm1, q0, qp1, qp2):
+    """Upwind-biased WENO5 edge value of one 5-cell window (Jiang & Shu).
+
+    Forward orientation gives the right-edge (i+1/2) value; callers get
+    the mirrored left-edge value by passing the window reversed.
+    """
+    p0 = (2.0 * qm2 - 7.0 * qm1 + 11.0 * q0) / 6.0
+    p1 = (-qm1 + 5.0 * q0 + 2.0 * qp1) / 6.0
+    p2 = (2.0 * q0 + 5.0 * qp1 - qp2) / 6.0
+    b0 = (13.0 / 12.0) * (qm2 - 2.0 * qm1 + q0) ** 2 + 0.25 * (
+        qm2 - 4.0 * qm1 + 3.0 * q0
+    ) ** 2
+    b1 = (13.0 / 12.0) * (qm1 - 2.0 * q0 + qp1) ** 2 + 0.25 * (
+        qm1 - qp1
+    ) ** 2
+    b2 = (13.0 / 12.0) * (q0 - 2.0 * qp1 + qp2) ** 2 + 0.25 * (
+        3.0 * q0 - 4.0 * qp1 + qp2
+    ) ** 2
+    a0 = 0.1 / (WENO_EPS + b0) ** 2
+    a1 = 0.6 / (WENO_EPS + b1) ** 2
+    a2 = 0.3 / (WENO_EPS + b2) ** 2
+    return (a0 * p0 + a1 * p1 + a2 * p2) / (a0 + a1 + a2)
+
+
+@njit(cache=True, inline="always")
+def _minmod(a, b):
+    """Scalar minmod: 0 on sign disagreement, else the smaller magnitude."""
+    if a * b <= 0.0:
+        return 0.0
+    if abs(a) < abs(b):
+        return a
+    return b
+
+
+@njit(parallel=True, cache=True)
+def _flux_sweep(w, fx, ng, nxa, direction, nvel, use_weno, use_hll):
+    """Fused reconstruction + Riemann solve over recon-last pencils.
+
+    ``w`` is ``(nb, ncomp, d3, d2, cells)`` with the reconstruction axis
+    last (interior + ghosts); ``fx`` is ``(nb, ncomp, d3, d2, nxa + 1)``.
+    Every (block, pencil) pair is independent, so the flattened outer
+    loop parallelizes across threads with no synchronization.
+    """
+    nb, ncomp, n3, n2, _ = w.shape
+    nfaces = nxa + 1
+    for idx in prange(nb * n3 * n2):
+        b = idx // (n3 * n2)
+        rem = idx % (n3 * n2)
+        k = rem // n2
+        j = rem % n2
+        ql = np.empty(ncomp)
+        qr = np.empty(ncomp)
+        for f in range(nfaces):
+            cl = ng + f - 1  # cell left of the face
+            cr = ng + f  # cell right of the face
+            for c in range(ncomp):
+                q = w[b, c, k, j]
+                if use_weno:
+                    ql[c] = _weno5_edge(
+                        q[cl - 2], q[cl - 1], q[cl], q[cl + 1], q[cl + 2]
+                    )
+                    qr[c] = _weno5_edge(
+                        q[cr + 2], q[cr + 1], q[cr], q[cr - 1], q[cr - 2]
+                    )
+                else:
+                    ql[c] = q[cl] + 0.5 * _minmod(
+                        q[cl] - q[cl - 1], q[cl + 1] - q[cl]
+                    )
+                    qr[c] = q[cr] - 0.5 * _minmod(
+                        q[cr] - q[cr - 1], q[cr + 1] - q[cr]
+                    )
+            unl = ql[direction]
+            unr = qr[direction]
+            if use_hll:
+                sl = min(min(unl, unr), 0.0)
+                sr = max(max(unl, unr), 0.0)
+                width = sr - sl
+                if width > 0.0:
+                    for c in range(ncomp):
+                        scale = 0.5 if c < nvel else 1.0
+                        fl = scale * ql[c] * unl
+                        fr = scale * qr[c] * unr
+                        fx[b, c, k, j, f] = (
+                            sr * fl - sl * fr + sl * sr * (qr[c] - ql[c])
+                        ) / width
+                else:
+                    for c in range(ncomp):
+                        fx[b, c, k, j, f] = 0.0
+            else:
+                smax = max(abs(unl), abs(unr))
+                for c in range(ncomp):
+                    scale = 0.5 if c < nvel else 1.0
+                    fl = scale * ql[c] * unl
+                    fr = scale * qr[c] * unr
+                    fx[b, c, k, j, f] = 0.5 * (fl + fr) - 0.5 * smax * (
+                        qr[c] - ql[c]
+                    )
+
+
+class NumbaBurgersKernels(PackedBurgersKernels):
+    """Packed engine with the flux stage rerouted through the JIT sweep.
+
+    Only ``calculate_fluxes`` differs from the numpy engine; divergence/
+    update, FillDerived, save-base and the timestep reduce are inherited,
+    keeping those stages bitwise-identical across backends.
+    """
+
+    def __init__(self, pkg) -> None:
+        super().__init__(pkg)
+        self._use_hll = pkg.config.riemann == "hll"
+
+    def calculate_fluxes(self, pack) -> None:
+        u = pack.field(CONSERVED)
+        shape = pack.blocks[0].shape
+        ng = shape.ng
+        nx = shape.nx
+        for a in range(self.ndim):
+            arr_axis = 4 - a
+            sl = [slice(None), slice(None)]
+            for d in (2, 1, 0):
+                if d == a or d >= self.ndim:
+                    sl.append(slice(None))
+                else:
+                    g = shape.ghosts(d)
+                    sl.append(slice(g, g + nx[d]))
+            qm = np.moveaxis(u[tuple(sl)], arr_axis, -1)
+            # One contiguous recon-last copy in, one contiguous sweep, one
+            # moveaxis copy out — same traffic shape as the numpy engine.
+            w = self._scratch(f"numba_w{a}", qm.shape)
+            np.copyto(w, qm)
+            ft = self._scratch(f"numba_f{a}", qm.shape[:-1] + (nx[a] + 1,))
+            _flux_sweep(
+                w, ft, ng, nx[a], a, self.nvel, self._use_weno, self._use_hll
+            )
+            pack.flux_data[CONSERVED][a][...] = np.moveaxis(ft, -1, arr_axis)
+
+
+@register_backend
+class NumbaBackend(KernelBackend):
+    """JIT fused-stencil engine; selectable only when numba imports."""
+
+    name = "numba"
+
+    @classmethod
+    def available(cls) -> bool:
+        return NUMBA_AVAILABLE
+
+    def create_kernels(self, pkg) -> NumbaBurgersKernels:
+        return NumbaBurgersKernels(pkg)

@@ -21,8 +21,10 @@ from typing import Dict, List, Mapping, Optional
 from repro.observability.trace import Span, Trace
 
 #: Canonical document identity; see DESIGN §8 for the update policy.
+#: v2: ``meta`` gained ``kernel_backend`` — the effective engine the
+#: numeric packed kernels ran on (the backend-registry tentpole).
 CANONICAL_SCHEMA = "repro.trace"
-CANONICAL_SCHEMA_VERSION = 1
+CANONICAL_SCHEMA_VERSION = 2
 
 
 # ----------------------------------------------------------- canonical

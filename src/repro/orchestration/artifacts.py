@@ -8,14 +8,17 @@ campaign directory without re-running anything.  The document is
 wall-clock timestamps, so re-executing an identical spec reproduces the
 artifact byte-for-byte (the resume test relies on this).
 
-Schema (``schema_version`` 3; v2 added the ``metrics`` section — the
+Schema (``schema_version`` 4; v2 added the ``metrics`` section — the
 :class:`repro.observability.MetricsRegistry` snapshot with counters,
 gauges, histograms and the per-cycle counter series; v3 added the
 *optional* ``resilience`` section, present only when a point resumed
-from a checkpoint or ran with a fault plan armed)::
+from a checkpoint or ran with a fault plan armed; v4 added backend
+identity — ``config.kernel_backend`` is the *requested* engine and the
+ok-document's top-level ``kernel_backend`` the *effective* one, which
+differ exactly when the run fell back to numpy)::
 
     {
-      "schema_version": 3,
+      "schema_version": 4,
       "status": "ok" | "error",
       "cache_key": "<sha256 of the spec's canonical identity>",
       "code_version": "<repro.__version__>",
@@ -25,6 +28,7 @@ from a checkpoint or ran with a fault plan armed)::
       "params": {ndim, mesh_size, block_size, num_levels, num_scalars},
       "config": {backend, mode, kernel_mode, total_ranks, describe},
       # status == "ok" only:
+      "kernel_backend": "<effective engine the numeric kernels ran on>",
       "fom": <zone-cycles/s>, "oom": bool, "cycles": N, "zone_cycles": N,
       "blocks": {"final": N, "max": N},
       "timings": {
@@ -67,7 +71,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.api import RunSpec
     from repro.driver.driver import RunResult
 
-ARTIFACT_SCHEMA_VERSION = 3
+ARTIFACT_SCHEMA_VERSION = 4
 
 
 def _spec_header(spec: "RunSpec") -> dict:
@@ -93,6 +97,7 @@ def _spec_header(spec: "RunSpec") -> dict:
             "backend": c.backend,
             "mode": c.mode,
             "kernel_mode": c.kernel_mode,
+            "kernel_backend": c.kernel_backend,
             "total_ranks": c.total_ranks,
             "describe": c.describe(),
         },
@@ -107,6 +112,7 @@ def result_to_artifact(
     doc.update(
         status="ok",
         attempts=attempts,
+        kernel_backend=result.kernel_backend,
         fom=result.fom,
         oom=result.oom,
         cycles=result.cycles,

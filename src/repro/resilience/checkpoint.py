@@ -176,7 +176,8 @@ def restore_driver(
     from repro.comm.bvals import BoundaryExchange
     from repro.comm.flux_correction import FluxCorrection
     from repro.driver.driver import ParthenonDriver
-    from repro.solver.burgers import BASE, CONSERVED, DERIVED, PackedBurgersKernels
+    from repro.kernels.backends import resolve_backend
+    from repro.solver.burgers import BASE, CONSERVED, DERIVED
     from repro.solver.packs import build_numeric_pack
 
     if payload.get("schema_version") != CHECKPOINT_SCHEMA_VERSION:
@@ -193,11 +194,15 @@ def restore_driver(
     driver.fc = FluxCorrection(driver.mesh, driver.mpi)
     driver.bx.rebuild()
     driver.fc.set_neighbor_table(driver.bx.neighbor_table)
-    driver._packed = (
-        PackedBurgersKernels(driver.pkg)
-        if driver.numeric and driver.config.kernel_mode == "packed"
-        else None
-    )
+    # Recreate the kernel engine against the *restored* package via the
+    # registry, re-resolving availability in this process (the effective
+    # backend may differ from the checkpointing process's).
+    driver._packed = None
+    driver.kernel_backend = "numpy"
+    if driver.numeric and driver.config.kernel_mode == "packed":
+        backend = resolve_backend(driver.config.kernel_backend)
+        driver.kernel_backend = backend.name
+        driver._packed = backend.create_kernels(driver.pkg)
     driver._pack = None
     if driver.use_packed and payload.get("pack_valid"):
         # Reconstruct the pack the blocks aliased at save time.  No

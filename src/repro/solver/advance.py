@@ -18,12 +18,12 @@ import numpy as np
 from repro.comm.bvals import BoundaryExchange
 from repro.comm.flux_correction import FluxCorrection
 from repro.mesh.mesh import Mesh
+from repro.kernels.backends.numpy_backend import PackedBurgersKernels
 from repro.solver.burgers import (
     BASE,
     BurgersPackage,
     CONSERVED,
     DERIVED,
-    PackedBurgersKernels,
 )
 from repro.solver.packs import MeshBlockPack, build_numeric_pack
 

@@ -1,0 +1,248 @@
+"""Property tests for the kernel-backend registry (ISSUE 6 satellites).
+
+Hypothesis-driven contracts:
+
+* selection is deterministic — the same name always resolves to the same
+  singleton engine instance;
+* unknown names raise :class:`UnknownBackendError` with a did-you-mean
+  suggestion, matching the ``repro.api`` builder convention;
+* falling back to numpy never changes the simulated ``RunResult`` bytes
+  (only the requested-backend field in the config differs);
+* the unavailable-backend warning fires exactly once per process.
+
+Plus the config-threading contracts: ExecutionConfig validation, deck
+round-trips that keep old decks byte-identical, cache-key sensitivity
+and the requested/effective split in run artifacts.
+"""
+
+import dataclasses
+import pickle
+import warnings
+from functools import lru_cache
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.api import ConfigError, RunSpec, build_execution_config
+from repro.driver.driver import ParthenonDriver
+from repro.driver.execution import ExecutionConfig
+from repro.driver.input import params_from_input, render_input
+from repro.driver.params import SimulationParams
+from repro.kernels.backends import (
+    BackendUnavailableWarning,
+    FALLBACK_BACKEND,
+    KNOWN_BACKENDS,
+    UnknownBackendError,
+    available_backends,
+    backend_names,
+    get_backend,
+    reset_unavailable_warnings,
+    resolve_backend,
+)
+from repro.solver.initial_conditions import gaussian_blob
+
+
+# ------------------------------------------------------------- registry
+
+
+def test_known_backends_all_registered():
+    assert backend_names() == list(KNOWN_BACKENDS)
+    assert FALLBACK_BACKEND in available_backends()
+
+
+@given(name=st.sampled_from(KNOWN_BACKENDS))
+def test_selection_is_deterministic(name):
+    """Same name -> same singleton, across repeated lookups."""
+    assert get_backend(name) is get_backend(name)
+    assert resolve_backend(name) is resolve_backend(name)
+    resolved = resolve_backend(name)
+    if name in available_backends():
+        assert resolved is get_backend(name)
+    else:
+        assert resolved is get_backend(FALLBACK_BACKEND)
+
+
+@given(
+    name=st.text(min_size=0, max_size=24).filter(
+        lambda s: s not in KNOWN_BACKENDS
+    )
+)
+def test_unknown_names_raise_with_choices(name):
+    with pytest.raises(UnknownBackendError) as err:
+        get_backend(name)
+    for known in KNOWN_BACKENDS:
+        assert known in str(err.value)
+
+
+@pytest.mark.parametrize(
+    "typo, suggestion",
+    [("numpa", "numpy"), ("cuppy", "cupy"), ("nmba", "numba")],
+)
+def test_did_you_mean_suggestion(typo, suggestion):
+    with pytest.raises(UnknownBackendError, match=suggestion):
+        get_backend(typo)
+
+
+def test_unknown_backend_error_is_value_error():
+    """Callers that guard on ValueError keep working."""
+    with pytest.raises(ValueError):
+        get_backend("fortran")
+
+
+# ------------------------------------------------------- warning policy
+
+
+@pytest.fixture
+def fresh_warning_state():
+    reset_unavailable_warnings()
+    yield
+    reset_unavailable_warnings()
+
+
+def test_unavailable_warning_fires_exactly_once(fresh_warning_state):
+    unavailable = [n for n in KNOWN_BACKENDS if n not in available_backends()]
+    if not unavailable:  # full-dependency environment (GPU CI)
+        pytest.skip("every known backend is importable here")
+    name = unavailable[0]
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        resolve_backend(name)
+        resolve_backend(name)  # second resolve must stay silent
+        resolve_backend(name)
+    ours = [w for w in caught if w.category is BackendUnavailableWarning]
+    assert len(ours) == 1
+    assert name in str(ours[0].message)
+    # reset_unavailable_warnings() re-arms it (process-lifetime state).
+    reset_unavailable_warnings()
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        resolve_backend(name)
+    assert sum(
+        w.category is BackendUnavailableWarning for w in caught
+    ) == 1
+
+
+def test_available_backend_resolves_silently(fresh_warning_state):
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", BackendUnavailableWarning)
+        assert resolve_backend("numpy").name == "numpy"
+
+
+# ------------------------------------------------- fallback result bytes
+
+
+@lru_cache(maxsize=None)
+def fallback_result(kernel_backend):
+    params = SimulationParams(
+        ndim=2, mesh_size=16, block_size=8, num_levels=2, num_scalars=2
+    )
+    cfg = ExecutionConfig(
+        backend="gpu",
+        num_gpus=1,
+        ranks_per_gpu=1,
+        mode="numeric",
+        kernel_mode="packed",
+        kernel_backend=kernel_backend,
+    )
+    driver = ParthenonDriver(
+        params,
+        cfg,
+        initial_conditions=lambda mesh_, pkg: gaussian_blob(
+            mesh_, pkg, amplitude=0.8, width=0.15
+        ),
+    )
+    return driver.run(2)
+
+
+def test_fallback_never_changes_run_result_bytes():
+    """Requesting an unavailable backend falls back to numpy and yields a
+    RunResult that is byte-identical to the numpy run, apart from the
+    *requested* backend recorded in the config."""
+    unavailable = [n for n in KNOWN_BACKENDS if n not in available_backends()]
+    if not unavailable:
+        pytest.skip("every known backend is importable here")
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", BackendUnavailableWarning)
+        res_fb = fallback_result(unavailable[0])
+    res_np = fallback_result("numpy")
+    assert res_fb.kernel_backend == "numpy"  # effective engine
+    assert res_fb.config.kernel_backend == unavailable[0]  # the request
+    normalized = dataclasses.replace(
+        res_fb, config=dataclasses.replace(res_fb.config, kernel_backend="numpy")
+    )
+    assert pickle.dumps(normalized) == pickle.dumps(res_np)
+
+
+# --------------------------------------------------- config validation
+
+
+def test_execution_config_rejects_unknown_backend():
+    with pytest.raises(ValueError, match="kernel_backend"):
+        ExecutionConfig(kernel_backend="fortran")
+
+
+def test_builder_rejects_with_suggestion():
+    with pytest.raises(ConfigError, match="numpy"):
+        build_execution_config(kernel_backend="numpa")
+
+
+@given(name=st.sampled_from(KNOWN_BACKENDS))
+def test_builder_accepts_every_known_backend(name):
+    cfg = build_execution_config(kernel_backend=name)
+    assert cfg.kernel_backend == name
+
+
+# ------------------------------------------------------ deck round-trip
+
+
+@settings(max_examples=30)
+@given(
+    name=st.sampled_from(KNOWN_BACKENDS),
+    kernel_mode=st.sampled_from(["packed", "per_block"]),
+)
+def test_deck_round_trip_preserves_backend(name, kernel_mode):
+    cfg = ExecutionConfig(kernel_backend=name, kernel_mode=kernel_mode)
+    _, parsed = params_from_input(render_input(SimulationParams(), cfg))
+    assert parsed.kernel_backend == name
+    assert parsed.kernel_mode == kernel_mode
+
+
+def test_default_backend_not_rendered():
+    """Decks only mention kernel_backend when it differs from the default,
+    so every pre-existing deck renders byte-identically."""
+    deck = render_input(SimulationParams(), ExecutionConfig())
+    assert "kernel_backend" not in deck
+    deck = render_input(
+        SimulationParams(), ExecutionConfig(kernel_backend="numba")
+    )
+    assert "kernel_backend = numba" in deck
+
+
+def test_old_decks_default_to_numpy():
+    deck = render_input(SimulationParams(), ExecutionConfig())
+    _, parsed = params_from_input(deck)
+    assert parsed.kernel_backend == "numpy"
+
+
+# ------------------------------------------------- identity propagation
+
+
+def test_cache_key_differs_by_backend():
+    base = RunSpec(config=build_execution_config(mode="numeric"))
+    alt = RunSpec(
+        config=build_execution_config(mode="numeric", kernel_backend="numba")
+    )
+    assert base.cache_key() != alt.cache_key()
+
+
+def test_modeled_runs_never_resolve_backends(fresh_warning_state):
+    """Modeled (cost-model) runs have no numeric kernels: requesting any
+    backend is recorded but never resolved — no warning, effective numpy."""
+    unavailable = [n for n in KNOWN_BACKENDS if n not in available_backends()]
+    name = unavailable[0] if unavailable else "numba"
+    cfg = ExecutionConfig(mode="modeled", kernel_backend=name)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", BackendUnavailableWarning)
+        driver = ParthenonDriver(SimulationParams(), cfg)
+        driver.run(2)
+    assert driver.kernel_backend == "numpy"
