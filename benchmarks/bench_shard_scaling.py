@@ -1,0 +1,189 @@
+"""Shard scaling: numeric packed stages across shared-memory workers.
+
+Sharded execution (DESIGN §12) splits the contiguous MeshBlockPack into
+LPT-balanced chunk-grid shards and runs the flux/update stages in forked
+worker processes over ``multiprocessing.shared_memory`` — the measured
+analogue of the paper's CPU strong-scaling study (Fig. 7), where the
+modeled ``SimMPI``/CPU path predicts near-ideal speedup until the serial
+fraction plateaus.  This benchmark runs one numeric Burgers deck serial
+and at 2 and 4 shards, re-checks the bitwise contract on every result
+(``tests/test_shard_parity.py`` pins it exhaustively; a benchmark that
+got fast by diverging would be worthless), and compares the measured
+speedup curve against the modeled CPU-scaling prediction for the same
+rank counts.  The machine-readable trajectory lands in
+``BENCH_shards.json`` at the repo root.
+
+Acceptance: >= 2x at 4 shards — asserted only at paper scale on hosts
+with >= 4 cores (a single-core container serializes the workers, so the
+curve is reported but not gated).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+from pathlib import Path
+
+from conftest import bench_scale, run_once
+
+from repro.api import (
+    RunSpec,
+    Simulation,
+    build_execution_config,
+    build_simulation_params,
+)
+from repro.core.report import render_table
+from repro.solver.initial_conditions import gaussian_blob
+
+SCALE = bench_scale()
+MESH = 32 if SCALE["quick"] else 48
+BLOCK = 16
+NCYCLES = SCALE["ncycles"]
+SHARD_COUNTS = (1, 2, 4)
+#: Required measured speedup at 4 shards (paper scale, >= 4 real cores).
+MIN_SPEEDUP_4 = 2.0
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_shards.json"
+
+
+def _blob(mesh, pkg):
+    gaussian_blob(mesh, pkg, amplitude=0.8, width=0.15)
+
+
+def _numeric_spec(num_shards: int) -> RunSpec:
+    params = build_simulation_params(
+        ndim=3,
+        mesh_size=MESH,
+        block_size=BLOCK,
+        num_levels=2,
+        num_scalars=1,
+    )
+    config = build_execution_config(
+        mode="numeric",
+        kernel_mode="packed",
+        num_gpus=1,
+        ranks_per_gpu=2,
+        num_shards=num_shards,
+    )
+    return RunSpec(
+        params=params, config=config, ncycles=NCYCLES, warmup=SCALE["warmup"]
+    )
+
+
+def _modeled_prediction() -> dict:
+    """SimMPI/CPU-model wall seconds at the shard counts' rank counts.
+
+    The modeled path is the repo's Fig. 7 machinery: an analytic CPU
+    platform simulation, so its speedup curve is the *prediction* the
+    measured shard curve is compared against.
+    """
+    params = build_simulation_params(
+        ndim=3, mesh_size=MESH, block_size=BLOCK, num_levels=2, num_scalars=1
+    )
+    walls = {}
+    for ranks in SHARD_COUNTS:
+        config = build_execution_config(
+            mode="modeled", backend="cpu", cpu_ranks=ranks
+        )
+        spec = RunSpec(
+            params=params, config=config, ncycles=NCYCLES,
+            warmup=SCALE["warmup"],
+        )
+        walls[ranks] = Simulation(spec).run().wall_seconds
+    return {n: walls[1] / walls[n] for n in SHARD_COUNTS}
+
+
+def _run_measured(num_shards: int):
+    sim = Simulation(_numeric_spec(num_shards), initial_conditions=_blob)
+    t0 = time.perf_counter()
+    result = sim.run()
+    return result, time.perf_counter() - t0
+
+
+def _assert_bitwise(serial, sharded) -> None:
+    normalized = dataclasses.replace(
+        sharded, config=serial.config, shards=serial.shards
+    )
+    assert dataclasses.asdict(normalized) == dataclasses.asdict(serial), (
+        "sharded benchmark run diverged from serial — timings are void"
+    )
+
+
+def _write_bench_json(entries, predicted) -> None:
+    doc = {
+        "schema": "repro.bench_shards",
+        "schema_version": 1,
+        "scale": "quick" if SCALE["quick"] else "paper",
+        "mesh": MESH,
+        "block": BLOCK,
+        "ndim": 3,
+        "ncycles": NCYCLES,
+        "host_cpu_count": os.cpu_count(),
+        "timing": "one full numeric run per shard count (seconds)",
+        "predicted_speedup_model": (
+            "modeled backend=cpu cpu_ranks=N wall_seconds ratio (Fig. 7 path)"
+        ),
+        "predicted_speedup": {str(n): s for n, s in predicted.items()},
+        "entries": entries,
+    }
+    BENCH_JSON.write_text(json.dumps(doc, sort_keys=True, indent=2) + "\n")
+
+
+def test_shard_scaling(benchmark, save_report):
+    def run():
+        predicted = _modeled_prediction()
+        serial_result, serial_s = _run_measured(1)
+        entries = []
+        rows = []
+        measured = {1: serial_s}
+        for n in SHARD_COUNTS:
+            if n == 1:
+                result, seconds = serial_result, serial_s
+            else:
+                result, seconds = _run_measured(n)
+                _assert_bitwise(serial_result, result)
+                topo = result.shards["topology"]
+                assert topo["num_shards"] == n
+                assert sum(topo["blocks"]) == result.final_blocks
+            measured[n] = seconds
+            entries.append(
+                {
+                    "num_shards": n,
+                    "seconds": seconds,
+                    "speedup": serial_s / seconds,
+                    "predicted_speedup": predicted[n],
+                    "final_blocks": result.final_blocks,
+                    "stage_seconds": (
+                        result.shards.get("stage_seconds") if n > 1 else None
+                    ),
+                }
+            )
+            rows.append(
+                [
+                    n,
+                    f"{seconds:.3f}",
+                    f"{serial_s / seconds:.2f}x",
+                    f"{predicted[n]:.2f}x",
+                ]
+            )
+        _write_bench_json(entries, predicted)
+        # Gate only where the hardware can express the parallelism.
+        if not SCALE["quick"] and (os.cpu_count() or 1) >= 4:
+            speedup4 = serial_s / measured[4]
+            assert speedup4 >= MIN_SPEEDUP_4, (
+                f"4-shard speedup is {speedup4:.2f}x on a "
+                f"{os.cpu_count()}-core host, need >= {MIN_SPEEDUP_4}x"
+            )
+        return render_table(
+            ["shards", "wall_s", "speedup", "predicted"],
+            rows,
+            title=(
+                f"Shard scaling vs SimMPI/CPU prediction (numeric mesh "
+                f"{MESH}^3, block {BLOCK}, {os.cpu_count()} host cores; "
+                f"JSON trajectory at {BENCH_JSON.name})"
+            ),
+        )
+
+    save_report("shard_scaling", run_once(benchmark, run))

@@ -234,11 +234,16 @@ class RunSpec:
         ``label`` does not participate, and neither does
         ``checkpoint_every`` — checkpoint cadence is observability, not
         physics (the bitwise-resume guarantee), so turning checkpoints on
-        never invalidates a cached artifact.
+        never invalidates a cached artifact.  ``num_shards`` is excluded
+        for the same reason: sharded execution is 0-ULP identical to
+        serial (DESIGN §12), so the shard count is a how, not a what.
         """
-        outcome_config = replace(self.config, checkpoint_every=0)
+        outcome_config = replace(
+            self.config, checkpoint_every=0, num_shards=1
+        )
         config_fields = dataclasses.asdict(outcome_config)
         config_fields.pop("checkpoint_every", None)
+        config_fields.pop("num_shards", None)
         payload = {
             "code_version": __version__,
             "deck": render_input(self.params, outcome_config),
@@ -356,8 +361,8 @@ class Simulation:
                 f"checkpoint {self._restart_from} was written for different "
                 f"simulation parameters than this spec"
             )
-        if replace(payload["config"], checkpoint_every=0) != replace(
-            self.spec.config, checkpoint_every=0
+        if replace(payload["config"], checkpoint_every=0, num_shards=1) != replace(
+            self.spec.config, checkpoint_every=0, num_shards=1
         ):
             raise RestartError(
                 f"checkpoint {self._restart_from} was written for a "
@@ -411,11 +416,16 @@ class Simulation:
                 every=self.spec.config.checkpoint_every or 1,
             )
         self.checkpointer = checkpointer
-        self._result = self.driver.run(
-            self.spec.ncycles,
-            warmup=self.spec.warmup,
-            checkpointer=checkpointer,
-        )
+        try:
+            self._result = self.driver.run(
+                self.spec.ncycles,
+                warmup=self.spec.warmup,
+                checkpointer=checkpointer,
+            )
+        finally:
+            # Shard workers and their shared segments are only needed
+            # while cycles execute; results/trace/mesh stay readable.
+            self.driver.shutdown_shards()
         return self._result
 
     def trace(self) -> Trace:
@@ -447,9 +457,17 @@ class Simulation:
             "ndim": p.ndim,
             "num_levels": p.num_levels,
             "num_scalars": p.num_scalars,
+            "num_shards": c.num_shards,
             "total_ranks": c.total_ranks,
             "warmup": self.spec.warmup,
         }
+        result = self.result()
+        if result.shards:
+            # Shard topology + per-shard timings (canonical schema v3).
+            # The timings are host wall-clock — the one documented
+            # exception to trace byte-determinism, present only when the
+            # run actually sharded.
+            meta["shards"] = result.shards
         return self._recorder.to_trace(
             meta=meta, metrics=self.driver.metrics.to_dict()
         )

@@ -74,6 +74,12 @@ def _add_config_args(p: argparse.ArgumentParser) -> None:
         help="engine for packed numeric kernels; unavailable backends "
         "fall back to numpy with a one-time warning",
     )
+    p.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="run numeric packed stages across N shared-memory worker "
+        "processes (bitwise-identical to serial; inert outside "
+        "numeric+packed)",
+    )
 
 
 def _build_config(args, **overrides):
@@ -83,6 +89,7 @@ def _build_config(args, **overrides):
         mode=getattr(args, "mode", "modeled"),
         kernel_mode=getattr(args, "kernel_mode", "packed"),
         kernel_backend=getattr(args, "kernel_backend", "numpy"),
+        num_shards=getattr(args, "shards", 1),
     )
     if args.backend == "gpu":
         options.update(num_gpus=args.gpus, ranks_per_gpu=args.ranks)
@@ -145,6 +152,15 @@ def cmd_run(args) -> int:
             spec = spec.replace(
                 config=dataclasses.replace(
                     spec.config, checkpoint_every=args.checkpoint_every
+                )
+            )
+        except ValueError as exc:
+            raise ConfigError(str(exc))
+    if args.shards is not None:
+        try:
+            spec = spec.replace(
+                config=dataclasses.replace(
+                    spec.config, num_shards=args.shards
                 )
             )
         except ValueError as exc:
@@ -244,6 +260,13 @@ def cmd_trace(args) -> int:
                 spec.config, kernel_backend=args.kernel_backend
             )
         )
+    if args.shards is not None:
+        try:
+            spec = spec.replace(
+                config=dataclasses.replace(spec.config, num_shards=args.shards)
+            )
+        except ValueError as exc:
+            raise ConfigError(str(exc))
     sim = Simulation(spec, trace=True)
     sim.run()
     trace = sim.trace()
@@ -420,6 +443,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="checkpoint directory (default: ./checkpoints when enabled)",
     )
     p_run.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="override the deck's num_shards: run the numeric packed "
+        "stages across N shared-memory worker processes (bitwise "
+        "identical to serial; 1 = in-process)",
+    )
+    p_run.add_argument(
         "--restart-from", default=None, metavar="PATH",
         help="resume from a checkpoint: a manifest .json, payload .pkl, "
         "or a checkpoint directory (resolves to the latest valid one); "
@@ -467,6 +496,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_trace.add_argument(
         "--kernel-backend", choices=("numpy", "numba", "cupy"), default=None,
         help="override the deck's kernel backend",
+    )
+    p_trace.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="override the deck's num_shards (sharded traces differ from "
+        "serial only in meta.num_shards and the meta.shards section)",
     )
     p_trace.add_argument(
         "--diff", nargs=2, metavar=("A", "B"),
@@ -517,6 +551,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_camp.add_argument(
         "--kernel-backend", choices=("numpy", "numba", "cupy"),
         default="numpy",
+    )
+    p_camp.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="shared-memory shard workers per numeric packed point "
+        "(inert for modeled points)",
     )
     p_camp.add_argument(
         "--dir", required=True, help="campaign directory (artifacts + cache)"

@@ -123,6 +123,11 @@ class RunResult:
     #: ("numpy" after a fallback, and always "numpy" for per_block or
     #: modeled runs); ``config.kernel_backend`` records the request.
     kernel_backend: str = "numpy"
+    #: Shard-execution summary (DESIGN §12): topology + per-shard stage
+    #: wall seconds from :meth:`ShardedPackKernels.summary`.  Empty for
+    #: serial runs; the ``stage_seconds`` inside are host wall-clock and
+    #: excluded from every bitwise-identity comparison.
+    shards: Dict[str, object] = field(default_factory=dict)
 
 
 class ParthenonDriver:
@@ -198,10 +203,25 @@ class ParthenonDriver:
         #: always execute the reference math, hence "numpy".
         self.kernel_backend = "numpy"
         self._packed = None
+        #: Shard executor (repro.parallel) when this run fans the packed
+        #: stages out to worker processes; None for serial execution.
+        self._shard_exec = None
         if numeric and config.kernel_mode == "packed":
             backend = resolve_backend(config.kernel_backend)
             self.kernel_backend = backend.name
-            self._packed = backend.create_kernels(self.pkg)
+            if config.num_shards > 1:
+                from repro.parallel import ShardedPackKernels
+
+                self._shard_exec = ShardedPackKernels(
+                    params=params,
+                    backend_name=self.kernel_backend,
+                    num_shards=config.num_shards,
+                    injector_provider=lambda: self.fault_injector,
+                    cycle_provider=lambda: self.cycle,
+                )
+                self._packed = self._shard_exec
+            else:
+                self._packed = backend.create_kernels(self.pkg)
         if numeric and initial_conditions is not None:
             initial_conditions(self.mesh, self.pkg)
         self._update_memory()
@@ -225,14 +245,35 @@ class ParthenonDriver:
         per-block diagnostics all see packed data without copies.
         """
         if self._pack is None:
-            self._pack = build_numeric_pack(
-                self.mesh,
-                (CONSERVED, BASE, DERIVED),
-                flux_field=CONSERVED,
-                metrics=self.metrics,
-            )
+            self._pack = self._build_pack(metrics=self.metrics)
             self.pack_rebuilds += 1
         return self._pack
+
+    def _build_pack(self, metrics=None) -> MeshBlockPack:
+        """Build (and, when sharded, rebind) one contiguous pack.
+
+        The single pack-construction path shared by the lazy cache above
+        and checkpoint restore: sharded runs allocate the new generation
+        through the executor's shared-memory allocator and repartition
+        the chunk grid across workers before the old generation retires.
+        """
+        pack = build_numeric_pack(
+            self.mesh,
+            (CONSERVED, BASE, DERIVED),
+            flux_field=CONSERVED,
+            metrics=metrics,
+            allocator=(
+                None if self._shard_exec is None else self._shard_exec.allocator
+            ),
+        )
+        if self._shard_exec is not None:
+            self._shard_exec.rebind(pack)
+        return pack
+
+    def shutdown_shards(self) -> None:
+        """Stop shard workers and release shared memory (idempotent)."""
+        if self._shard_exec is not None:
+            self._shard_exec.shutdown()
 
     @property
     def _exchange_fields(self) -> List[str]:
@@ -382,6 +423,8 @@ class ParthenonDriver:
         self.history = []
         self.mpi.total = type(self.mpi.total)()
         self.mpi.end_cycle()
+        if self._shard_exec is not None:
+            self._shard_exec.reset_timings()
         self._warmup_cycles = measured
 
     def do_cycle(self) -> None:
@@ -839,4 +882,7 @@ class ParthenonDriver:
             },
             metrics=self.metrics.to_dict(),
             kernel_backend=self.kernel_backend,
+            shards=(
+                {} if self._shard_exec is None else self._shard_exec.summary()
+            ),
         )

@@ -132,6 +132,7 @@ def params_from_input(text: str) -> Tuple[SimulationParams, ExecutionConfig]:
         mode=str(_get(s, "platform", "mode", "modeled")),
         kernel_mode=str(_get(s, "platform", "kernel_mode", "packed")),
         kernel_backend=str(_get(s, "platform", "kernel_backend", "numpy")),
+        num_shards=_get(s, "platform", "num_shards", 1),
         checkpoint_every=_get(s, "checkpoint", "every", 0),
     )
     return params, config
@@ -178,6 +179,13 @@ def render_input(params: SimulationParams, config: ExecutionConfig) -> str:
         lines.insert(
             lines.index(f"kernel_mode = {config.kernel_mode}") + 1,
             f"kernel_backend = {config.kernel_backend}",
+        )
+    # Same non-default-only convention: serial decks are byte-identical
+    # to decks rendered before sharding existed.
+    if config.num_shards > 1:
+        lines.insert(
+            lines.index(f"kernel_mode = {config.kernel_mode}") + 1,
+            f"num_shards = {config.num_shards}",
         )
     if config.is_gpu:
         lines += [

@@ -88,43 +88,75 @@ def _minmod(a, b):
     return b
 
 
-@njit(parallel=True, cache=True)
-def _flux_sweep(w, fx, ng, nxa, direction, nvel, use_weno, use_hll):
-    """Fused reconstruction + Riemann solve over recon-last pencils.
+@njit(cache=True, inline="always")
+def _load_cell(u, b, c, direction, i_hi, i_lo, s):
+    """One strided pencil load: position ``s`` along ``direction``.
 
-    ``w`` is ``(nb, ncomp, d3, d2, cells)`` with the reconstruction axis
-    last (interior + ghosts); ``fx`` is ``(nb, ncomp, d3, d2, nxa + 1)``.
-    Every (block, pencil) pair is independent, so the flattened outer
-    loop parallelizes across threads with no synchronization.
+    ``i_hi``/``i_lo`` are the ghost-offset positions along the two
+    tangential array axes (slower- and faster-varying respectively).
     """
-    nb, ncomp, n3, n2, _ = w.shape
+    if direction == 0:
+        return u[b, c, i_hi, i_lo, s]
+    if direction == 1:
+        return u[b, c, i_hi, s, i_lo]
+    return u[b, c, s, i_hi, i_lo]
+
+
+@njit(cache=True, inline="always")
+def _store_flux(fx, b, c, direction, t_hi, t_lo, f, val):
+    """Write one face flux; the face index sits on ``direction``'s axis."""
+    if direction == 0:
+        fx[b, c, t_hi, t_lo, f] = val
+    elif direction == 1:
+        fx[b, c, t_hi, f, t_lo] = val
+    else:
+        fx[b, c, f, t_hi, t_lo] = val
+
+
+@njit(parallel=True, cache=True)
+def _flux_sweep_pack(
+    u, fx, direction, ng, nxa, g_hi, g_lo, nt_hi, nt_lo, nvel, use_weno, use_hll
+):
+    """Fused reconstruction + Riemann solve directly over pack storage.
+
+    ``u`` is the pack-wide conserved view ``(nb, ncomp, x3, x2, x1)``
+    *including ghosts* — no recon-last staging copy; pencils are walked
+    with strided loads.  ``fx`` is the pack-level face-flux array for
+    ``direction`` (interior-only tangential extents, ``nxa + 1`` faces).
+    ``g_hi``/``nt_hi`` are the ghost depth and interior extent of the
+    slower-varying tangential array axis, ``g_lo``/``nt_lo`` of the
+    faster-varying one.  Every (block, pencil) pair is independent, so
+    the flattened outer loop parallelizes with no synchronization.
+    """
+    nb = u.shape[0]
+    ncomp = u.shape[1]
     nfaces = nxa + 1
-    for idx in prange(nb * n3 * n2):
-        b = idx // (n3 * n2)
-        rem = idx % (n3 * n2)
-        k = rem // n2
-        j = rem % n2
+    for idx in prange(nb * nt_hi * nt_lo):
+        b = idx // (nt_hi * nt_lo)
+        rem = idx % (nt_hi * nt_lo)
+        t_hi = rem // nt_lo
+        t_lo = rem % nt_lo
+        i_hi = g_hi + t_hi
+        i_lo = g_lo + t_lo
         ql = np.empty(ncomp)
         qr = np.empty(ncomp)
         for f in range(nfaces):
-            cl = ng + f - 1  # cell left of the face
-            cr = ng + f  # cell right of the face
+            s0 = ng + f  # cell right of the face; s0 - 1 is left
             for c in range(ncomp):
-                q = w[b, c, k, j]
+                # Window cells around the face (a2 left, a3 right); the
+                # outermost pair exists only at WENO's ghost depth.
+                a1 = _load_cell(u, b, c, direction, i_hi, i_lo, s0 - 2)
+                a2 = _load_cell(u, b, c, direction, i_hi, i_lo, s0 - 1)
+                a3 = _load_cell(u, b, c, direction, i_hi, i_lo, s0)
+                a4 = _load_cell(u, b, c, direction, i_hi, i_lo, s0 + 1)
                 if use_weno:
-                    ql[c] = _weno5_edge(
-                        q[cl - 2], q[cl - 1], q[cl], q[cl + 1], q[cl + 2]
-                    )
-                    qr[c] = _weno5_edge(
-                        q[cr + 2], q[cr + 1], q[cr], q[cr - 1], q[cr - 2]
-                    )
+                    a0 = _load_cell(u, b, c, direction, i_hi, i_lo, s0 - 3)
+                    a5 = _load_cell(u, b, c, direction, i_hi, i_lo, s0 + 2)
+                    ql[c] = _weno5_edge(a0, a1, a2, a3, a4)
+                    qr[c] = _weno5_edge(a5, a4, a3, a2, a1)
                 else:
-                    ql[c] = q[cl] + 0.5 * _minmod(
-                        q[cl] - q[cl - 1], q[cl + 1] - q[cl]
-                    )
-                    qr[c] = q[cr] - 0.5 * _minmod(
-                        q[cr] - q[cr - 1], q[cr + 1] - q[cr]
-                    )
+                    ql[c] = a2 + 0.5 * _minmod(a2 - a1, a3 - a2)
+                    qr[c] = a3 - 0.5 * _minmod(a3 - a2, a4 - a3)
             unl = ql[direction]
             unr = qr[direction]
             if use_hll:
@@ -136,21 +168,26 @@ def _flux_sweep(w, fx, ng, nxa, direction, nvel, use_weno, use_hll):
                         scale = 0.5 if c < nvel else 1.0
                         fl = scale * ql[c] * unl
                         fr = scale * qr[c] * unr
-                        fx[b, c, k, j, f] = (
+                        val = (
                             sr * fl - sl * fr + sl * sr * (qr[c] - ql[c])
                         ) / width
+                        _store_flux(fx, b, c, direction, t_hi, t_lo, f, val)
                 else:
                     for c in range(ncomp):
-                        fx[b, c, k, j, f] = 0.0
+                        _store_flux(fx, b, c, direction, t_hi, t_lo, f, 0.0)
             else:
                 smax = max(abs(unl), abs(unr))
                 for c in range(ncomp):
                     scale = 0.5 if c < nvel else 1.0
                     fl = scale * ql[c] * unl
                     fr = scale * qr[c] * unr
-                    fx[b, c, k, j, f] = 0.5 * (fl + fr) - 0.5 * smax * (
-                        qr[c] - ql[c]
-                    )
+                    val = 0.5 * (fl + fr) - 0.5 * smax * (qr[c] - ql[c])
+                    _store_flux(fx, b, c, direction, t_hi, t_lo, f, val)
+
+
+#: direction -> (slower, faster) tangential dimension indices: the two
+#: spatial dims that are *not* the sweep direction, ordered by array axis.
+_TANGENTIAL = ((2, 1), (2, 0), (1, 0))
 
 
 class NumbaBurgersKernels(PackedBurgersKernels):
@@ -159,6 +196,11 @@ class NumbaBurgersKernels(PackedBurgersKernels):
     Only ``calculate_fluxes`` differs from the numpy engine; divergence/
     update, FillDerived, save-base and the timestep reduce are inherited,
     keeping those stages bitwise-identical across backends.
+
+    The sweep reads pack storage in place with strided pencil loads and
+    writes finished fluxes straight into the pack's face arrays — no
+    recon-last staging copy in, no moveaxis copy out, and no per-axis
+    scratch arrays (the former ``numba_w{a}``/``numba_f{a}`` buffers).
     """
 
     def __init__(self, pkg) -> None:
@@ -168,27 +210,23 @@ class NumbaBurgersKernels(PackedBurgersKernels):
     def calculate_fluxes(self, pack) -> None:
         u = pack.field(CONSERVED)
         shape = pack.blocks[0].shape
-        ng = shape.ng
         nx = shape.nx
         for a in range(self.ndim):
-            arr_axis = 4 - a
-            sl = [slice(None), slice(None)]
-            for d in (2, 1, 0):
-                if d == a or d >= self.ndim:
-                    sl.append(slice(None))
-                else:
-                    g = shape.ghosts(d)
-                    sl.append(slice(g, g + nx[d]))
-            qm = np.moveaxis(u[tuple(sl)], arr_axis, -1)
-            # One contiguous recon-last copy in, one contiguous sweep, one
-            # moveaxis copy out — same traffic shape as the numpy engine.
-            w = self._scratch(f"numba_w{a}", qm.shape)
-            np.copyto(w, qm)
-            ft = self._scratch(f"numba_f{a}", qm.shape[:-1] + (nx[a] + 1,))
-            _flux_sweep(
-                w, ft, ng, nx[a], a, self.nvel, self._use_weno, self._use_hll
+            d_hi, d_lo = _TANGENTIAL[a]
+            _flux_sweep_pack(
+                u,
+                pack.flux_data[CONSERVED][a],
+                a,
+                shape.ng,
+                nx[a],
+                shape.ghosts(d_hi),
+                shape.ghosts(d_lo),
+                nx[d_hi],
+                nx[d_lo],
+                self.nvel,
+                self._use_weno,
+                self._use_hll,
             )
-            pack.flux_data[CONSERVED][a][...] = np.moveaxis(ft, -1, arr_axis)
 
 
 @register_backend

@@ -23,8 +23,12 @@ from repro.observability.trace import Span, Trace
 #: Canonical document identity; see DESIGN §8 for the update policy.
 #: v2: ``meta`` gained ``kernel_backend`` — the effective engine the
 #: numeric packed kernels ran on (the backend-registry tentpole).
+#: v3: ``meta`` gained ``num_shards`` (always) and, for sharded runs
+#: only, a ``shards`` section with the shard topology and per-shard
+#: stage wall-clock — the canonical document's sole nondeterministic
+#: field (DESIGN §12); golden comparisons strip it.
 CANONICAL_SCHEMA = "repro.trace"
-CANONICAL_SCHEMA_VERSION = 2
+CANONICAL_SCHEMA_VERSION = 3
 
 
 # ----------------------------------------------------------- canonical

@@ -1,0 +1,34 @@
+"""Shared-memory shard execution for MeshBlockPacks (DESIGN §12).
+
+One simulation, many processes: the contiguous pack lives in
+``multiprocessing.shared_memory``, the serial engine's chunk grid is
+partitioned across worker processes by LPT, and every numeric stage runs
+behind a barrier — bitwise-identical to the serial path by construction
+(``tests/test_shard_parity.py`` pins 0-ULP agreement).
+"""
+
+from repro.parallel.executor import (
+    STAGE_TIMEOUT_S,
+    ShardedPackKernels,
+    ShardError,
+)
+from repro.parallel.shards import (
+    ShardPack,
+    ShardPlan,
+    compute_units,
+    plan_shards,
+)
+from repro.parallel.shm import SharedSlab, attach_slab, create_slab
+
+__all__ = [
+    "STAGE_TIMEOUT_S",
+    "ShardError",
+    "ShardedPackKernels",
+    "ShardPack",
+    "ShardPlan",
+    "SharedSlab",
+    "attach_slab",
+    "compute_units",
+    "create_slab",
+    "plan_shards",
+]

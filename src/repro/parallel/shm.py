@@ -1,0 +1,93 @@
+"""POSIX shared-memory slabs backing sharded MeshBlockPack storage.
+
+The shard executor (DESIGN §12) keeps the contiguous pack array and its
+per-axis face-flux arrays in ``multiprocessing.shared_memory`` segments so
+worker processes operate on the *same* bytes the parent's framework code
+(ghost exchange, flux correction, prolongation) mutates through the
+adopted block views — zero copies cross the process boundary.
+
+Lifecycle contract (parent side):
+
+* the parent **creates** every segment (registered with the process-wide
+  resource tracker, so a crashed run still gets cleaned up at interpreter
+  exit);
+* workers are forked and **attach** by name; under the fork start method
+  all processes share one resource tracker, so attaching must *not*
+  re-register or unregister — the parent's single registration is the
+  only one, and ``SharedMemory.unlink()`` removes it;
+* the parent **unlinks** a generation's segments once every worker has
+  rebound to the next generation.  POSIX keeps the memory alive while
+  mappings exist, so unlink-while-mapped is safe and is the idempotent
+  retirement primitive;
+* ``close()`` is best-effort everywhere: it raises ``BufferError`` while
+  NumPy views are still exported, in which case the mapping is simply
+  left for garbage collection / process exit.
+"""
+
+from __future__ import annotations
+
+import math
+from multiprocessing import shared_memory
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+class SharedSlab:
+    """One shared-memory segment viewed as a float64 ndarray."""
+
+    __slots__ = ("shm", "array", "shape", "owner")
+
+    def __init__(
+        self, shm: shared_memory.SharedMemory,
+        shape: Tuple[int, ...],
+        owner: bool,
+    ) -> None:
+        self.shm = shm
+        self.shape = tuple(shape)
+        self.owner = owner
+        self.array = np.ndarray(self.shape, dtype=np.float64, buffer=shm.buf)
+
+    @property
+    def name(self) -> str:
+        return self.shm.name
+
+    def close(self) -> bool:
+        """Drop this process's mapping; False if views still pin it."""
+        self.array = None
+        try:
+            self.shm.close()
+        except BufferError:
+            return False
+        return True
+
+    def unlink(self) -> None:
+        """Remove the segment name (memory lives until unmapped).
+
+        Idempotent: a second unlink of the same name is swallowed, so
+        retirement paths and the executor's finalizer can overlap.
+        """
+        try:
+            self.shm.unlink()
+        except FileNotFoundError:
+            pass
+
+
+def create_slab(shape: Sequence[int]) -> SharedSlab:
+    """Parent-side: allocate a zero-filled shared float64 array."""
+    nbytes = max(8, int(math.prod(shape)) * 8)
+    shm = shared_memory.SharedMemory(create=True, size=nbytes)
+    slab = SharedSlab(shm, tuple(shape), owner=True)
+    slab.array.fill(0.0)
+    return slab
+
+
+def attach_slab(name: str, shape: Sequence[int]) -> SharedSlab:
+    """Worker-side: map an existing segment created by the parent.
+
+    No resource-tracker bookkeeping happens here: under fork the children
+    share the parent's tracker, the name is already registered once, and
+    the parent's ``unlink()`` is what unregisters it.
+    """
+    shm = shared_memory.SharedMemory(name=name)
+    return SharedSlab(shm, tuple(shape), owner=False)

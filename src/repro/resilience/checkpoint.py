@@ -177,9 +177,6 @@ def restore_driver(
     from repro.comm.flux_correction import FluxCorrection
     from repro.driver.driver import ParthenonDriver
     from repro.kernels.backends import resolve_backend
-    from repro.solver.burgers import BASE, CONSERVED, DERIVED
-    from repro.solver.packs import build_numeric_pack
-
     if payload.get("schema_version") != CHECKPOINT_SCHEMA_VERSION:
         raise CheckpointError(
             f"checkpoint schema_version {payload.get('schema_version')!r}; "
@@ -196,24 +193,24 @@ def restore_driver(
     driver.fc.set_neighbor_table(driver.bx.neighbor_table)
     # Recreate the kernel engine against the *restored* package via the
     # registry, re-resolving availability in this process (the effective
-    # backend may differ from the checkpointing process's).
-    driver._packed = None
-    driver.kernel_backend = "numpy"
-    if driver.numeric and driver.config.kernel_mode == "packed":
-        backend = resolve_backend(driver.config.kernel_backend)
-        driver.kernel_backend = backend.name
-        driver._packed = backend.create_kernels(driver.pkg)
+    # backend may differ from the checkpointing process's).  Sharded runs
+    # keep the executor ``__init__`` already wired (its provider closures
+    # read the driver's injector/cycle attributes at call time, so the
+    # restored state is picked up automatically).
+    if driver._shard_exec is None:
+        driver._packed = None
+        driver.kernel_backend = "numpy"
+        if driver.numeric and driver.config.kernel_mode == "packed":
+            backend = resolve_backend(driver.config.kernel_backend)
+            driver.kernel_backend = backend.name
+            driver._packed = backend.create_kernels(driver.pkg)
     driver._pack = None
     if driver.use_packed and payload.get("pack_valid"):
-        # Reconstruct the pack the blocks aliased at save time.  No
-        # metrics and no pack_rebuilds bump: this re-creates existing
-        # state, it is not a new rebuild event.
-        driver._pack = build_numeric_pack(
-            driver.mesh,
-            (CONSERVED, BASE, DERIVED),
-            flux_field=CONSERVED,
-            metrics=None,
-        )
+        # Reconstruct the pack the blocks aliased at save time — through
+        # ``_build_pack`` so sharded restores allocate shared memory and
+        # rebind workers.  No metrics and no pack_rebuilds bump: this
+        # re-creates existing state, it is not a new rebuild event.
+        driver._pack = driver._build_pack(metrics=None)
     return driver
 
 

@@ -25,8 +25,9 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple
 
 #: Every place the toolkit can inject a fault.  Sites are threaded
-#: through the driver (kernel launches, ghost pack/unpack, remesh) and
-#: the campaign worker (whole-worker crash, artifact persistence).
+#: through the driver (kernel launches, ghost pack/unpack, remesh),
+#: the campaign worker (whole-worker crash, artifact persistence), and
+#: the shard executor (a packed-stage dispatch to shard workers).
 FAULT_SITES: Tuple[str, ...] = (
     "kernel_launch",
     "ghost_pack",
@@ -34,6 +35,7 @@ FAULT_SITES: Tuple[str, ...] = (
     "remesh",
     "artifact_write",
     "campaign_worker",
+    "shard_worker",
 )
 
 

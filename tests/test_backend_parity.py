@@ -35,7 +35,10 @@ from repro.driver.driver import ParthenonDriver
 from repro.driver.params import SimulationParams
 from repro.kernels.backends import available_backends, backend_names
 from repro.kernels.backends.cupy_backend import CupyBurgersKernels, flux_stage_xp
-from repro.kernels.backends.numba_backend import NumbaBurgersKernels, _flux_sweep
+from repro.kernels.backends.numba_backend import (
+    NumbaBurgersKernels,
+    _flux_sweep_pack,
+)
 from repro.kernels.backends.numpy_backend import PackedBurgersKernels
 from repro.mesh.mesh import Mesh
 from repro.observability import to_canonical_json
@@ -243,7 +246,10 @@ def test_flux_sweep_matches_textbook_reference():
     for use_weno in (True, False):
         for use_hll, solver in ((True, "hll"), (False, "llf")):
             fx = np.zeros((2, ncomp, 1, 3, nxa + 1))
-            _flux_sweep(w, fx, ng, nxa, 0, nvel, use_weno, use_hll)
+            # direction 0: tangential axes carry no ghosts in this fixture
+            _flux_sweep_pack(
+                w, fx, 0, ng, nxa, 0, 0, 1, 3, nvel, use_weno, use_hll
+            )
             scheme = "weno5" if use_weno else "plm"
             for b in range(2):
                 for r in range(3):
