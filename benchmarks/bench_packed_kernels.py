@@ -30,7 +30,7 @@ from pathlib import Path
 
 import numpy as np
 
-from conftest import bench_scale, run_once
+from conftest import bench_json_path, bench_scale, run_once
 
 from repro.comm.bvals import BoundaryExchange
 from repro.comm.mpi import SimMPI
@@ -59,7 +59,7 @@ MIN_SPEEDUP_B16 = 1.2 if SCALE["quick"] else 2.0
 #: moveaxis staging copies removed the stage's remaining memcpy traffic.
 MIN_NUMBA_SPEEDUP_B32 = 6.0
 
-BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
+BENCH_JSON = bench_json_path("kernels")
 
 
 def _setup(block_size: int):

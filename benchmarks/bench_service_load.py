@@ -1,0 +1,204 @@
+"""Service load: the sweep server under a mixed, cache-hot workload.
+
+Drives a real :class:`~repro.service.SweepServer` (thread executor, real
+sockets) with the traffic shape the north-star cares about: many users
+asking for mostly the *same* configurations.  A small set of unique
+specs is seeded first (those pay for execution once); the remaining
+requests are a deterministic submit/status/result mix over those specs,
+so >= 90% of submissions resolve by dedup or cache hit — the property
+that lets one box serve heavy traffic.
+
+Reports per-request p50/p99 latency and sustained throughput, and
+writes the machine-readable trajectory to ``BENCH_service.json`` at the
+repo root.  Two hard gates ride along at every scale: zero 5xx
+responses, and a >= 90% submission hit ratio.
+
+Scale: ``paper`` plays 1000 requests over 8 unique specs; ``quick``
+plays 150 over 4 — same mix, same gates.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+
+from conftest import bench_json_path, bench_scale, run_once
+
+from repro.api import RunSpec, build_execution_config, build_simulation_params
+from repro.core.report import render_table
+from repro.service import QuotaPolicy, ServerThread, TenantQuotas
+
+SCALE = bench_scale()
+TOTAL_REQUESTS = 150 if SCALE["quick"] else 1000
+UNIQUE_SPECS = 4 if SCALE["quick"] else 8
+#: Gate: fraction of submissions served without a new execution.
+MIN_HIT_RATIO = 0.90
+#: Deterministic request mix after seeding (out of every 10 requests).
+MIX = ("submit",) * 6 + ("status",) * 3 + ("result",)
+
+BENCH_JSON = bench_json_path("service")
+
+#: The benchmark measures the service, not admission control: quotas
+#: sized so a single-client hammer never trips the rate limiter.
+QUOTAS = QuotaPolicy(
+    rate_per_s=100_000.0, burst=2 * TOTAL_REQUESTS, max_inflight=4096
+)
+
+
+def _specs():
+    """UNIQUE_SPECS distinct modeled configurations, all cheap."""
+    specs = []
+    for i in range(UNIQUE_SPECS):
+        params = build_simulation_params(
+            ndim=2,
+            mesh_size=32 + 8 * (i % 4),
+            block_size=8,
+            num_levels=2,
+            num_scalars=1 + i // 4,
+        )
+        config = build_execution_config(
+            backend="gpu", num_gpus=1, ranks_per_gpu=1
+        )
+        specs.append(
+            RunSpec(
+                params=params,
+                config=config,
+                ncycles=SCALE["ncycles"],
+                warmup=SCALE["warmup"],
+                label=f"load-{i}",
+            )
+        )
+    return specs
+
+
+def _percentile(sorted_ms, q):
+    if not sorted_ms:
+        return 0.0
+    idx = min(len(sorted_ms) - 1, int(round(q * (len(sorted_ms) - 1))))
+    return sorted_ms[idx]
+
+
+def _play_workload(client, specs):
+    docs = [spec.to_json() for spec in specs]
+    keys = [spec.cache_key() for spec in specs]
+    latencies_ms = []
+    statuses = {}
+    requests = 0
+
+    def hit(resp):
+        statuses[resp.status] = statuses.get(resp.status, 0) + 1
+
+    t_start = time.perf_counter()
+    # Seed: one submission per unique spec, then wait until all are done
+    # (waits are control traffic — not measured, not counted).
+    for doc, key in zip(docs, keys):
+        t0 = time.perf_counter()
+        resp = client.submit(doc, tenant="bench")
+        latencies_ms.append((time.perf_counter() - t0) * 1e3)
+        requests += 1
+        hit(resp)
+        assert resp.json["id"] == key
+    for key in keys:
+        client.wait(key, timeout_s=300.0)
+
+    # Mixed steady state: mostly duplicate submissions, some reads.
+    i = 0
+    while requests < TOTAL_REQUESTS:
+        kind = MIX[i % len(MIX)]
+        key = keys[i % len(keys)]
+        t0 = time.perf_counter()
+        if kind == "submit":
+            resp = client.submit(docs[i % len(docs)], tenant="bench")
+        elif kind == "status":
+            resp = client.status(key)
+        else:
+            resp = client.result(key)
+        latencies_ms.append((time.perf_counter() - t0) * 1e3)
+        requests += 1
+        hit(resp)
+        i += 1
+    wall_s = time.perf_counter() - t_start
+    return latencies_ms, statuses, requests, wall_s
+
+
+def test_service_load(benchmark, save_report):
+    def run():
+        specs = _specs()
+        with tempfile.TemporaryDirectory() as data_dir:
+            with ServerThread(
+                data_dir, workers=2, quotas=TenantQuotas(QUOTAS)
+            ) as client:
+                latencies_ms, statuses, requests, wall_s = _play_workload(
+                    client, specs
+                )
+                stats = client.stats().json["stats"]
+
+        # -------------------------------------------------------- gates
+        server_errors = sum(
+            n for status, n in statuses.items() if status >= 500
+        )
+        assert server_errors == 0, f"5xx responses: {statuses}"
+        submissions = stats["submitted"] + stats["coalesced"]
+        hits = stats["coalesced"] + stats["cache_hits"]
+        hit_ratio = hits / submissions
+        assert hit_ratio >= MIN_HIT_RATIO, (
+            f"submission hit ratio {hit_ratio:.3f} < {MIN_HIT_RATIO} "
+            f"({stats})"
+        )
+        assert stats["executed"] == UNIQUE_SPECS, stats
+
+        # ------------------------------------------------------ numbers
+        ordered = sorted(latencies_ms)
+        p50 = _percentile(ordered, 0.50)
+        p99 = _percentile(ordered, 0.99)
+        throughput = requests / wall_s
+        doc = {
+            "schema": "repro.bench_service",
+            "schema_version": 1,
+            "scale": "quick" if SCALE["quick"] else "paper",
+            "requests": requests,
+            "unique_specs": UNIQUE_SPECS,
+            "request_mix": {
+                "submit": MIX.count("submit"),
+                "status": MIX.count("status"),
+                "result": MIX.count("result"),
+            },
+            "host_cpu_count": os.cpu_count(),
+            "wall_seconds": wall_s,
+            "throughput_rps": throughput,
+            "latency_ms": {
+                "p50": p50,
+                "p99": p99,
+                "max": ordered[-1],
+            },
+            "hit_ratio": hit_ratio,
+            "executed": stats["executed"],
+            "coalesced": stats["coalesced"],
+            "cache_hits": stats["cache_hits"],
+            "http_statuses": {str(k): v for k, v in sorted(statuses.items())},
+        }
+        BENCH_JSON.write_text(json.dumps(doc, sort_keys=True, indent=2) + "\n")
+
+        rows = [
+            ["requests", requests],
+            ["unique specs", UNIQUE_SPECS],
+            ["hit ratio", f"{hit_ratio * 100:.1f}%"],
+            ["p50 latency", f"{p50:.2f} ms"],
+            ["p99 latency", f"{p99:.2f} ms"],
+            ["throughput", f"{throughput:.0f} req/s"],
+            ["executions", stats["executed"]],
+            ["5xx", server_errors],
+        ]
+        return render_table(
+            ["metric", "value"],
+            rows,
+            title=(
+                f"Sweep-service load ({doc['scale']} scale, "
+                f"{os.cpu_count()} host cores; JSON trajectory at "
+                f"{BENCH_JSON.name})"
+            ),
+        )
+
+    save_report("service_load", run_once(benchmark, run))

@@ -26,7 +26,7 @@ import os
 import time
 from pathlib import Path
 
-from conftest import bench_scale, run_once
+from conftest import bench_json_path, bench_scale, run_once
 
 from repro.api import (
     RunSpec,
@@ -45,7 +45,7 @@ SHARD_COUNTS = (1, 2, 4)
 #: Required measured speedup at 4 shards (paper scale, >= 4 real cores).
 MIN_SPEEDUP_4 = 2.0
 
-BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_shards.json"
+BENCH_JSON = bench_json_path("shards")
 
 
 def _blob(mesh, pkg):

@@ -2,7 +2,17 @@
 
 Every benchmark regenerates one of the paper's tables or figures as a
 plain-text report: printed to stdout (visible with ``pytest -s``) and saved
-under ``benchmarks/output/`` so the artifacts survive the run.
+under a single output directory so the artifacts survive the run.
+
+That directory is governed by one knob — the ``--output-dir`` pytest flag
+(default ``benchmarks/output``, with ``REPRO_BENCH_OUTPUT_DIR`` as an
+environment fallback for flagless CI invocations).  Every bench script
+writes through the ``report_dir``/``save_report`` fixtures, so reports can
+never scatter across per-invocation directories again.
+
+Machine-readable ``BENCH_*.json`` perf-trajectory files are a separate
+contract: CI and the trend tooling read them at the *repo root*, always —
+``bench_json_path`` is the one place that path is spelled.
 
 Scaling: ``REPRO_BENCH_SCALE=quick`` shrinks the workloads (smaller meshes,
 fewer cycles) for smoke runs; the default ``paper`` scale uses the paper's
@@ -16,17 +26,44 @@ from pathlib import Path
 
 import pytest
 
-#: Reports land here; override with REPRO_BENCH_OUTPUT_DIR (e.g. to keep a
-#: quick-scale smoke run from overwriting paper-scale artifacts).
-OUTPUT_DIR = Path(
-    os.environ.get(
-        "REPRO_BENCH_OUTPUT_DIR", str(Path(__file__).parent / "output")
-    )
-)
+#: Default report directory when neither the ``--output-dir`` flag nor the
+#: ``REPRO_BENCH_OUTPUT_DIR`` environment variable is set.
+DEFAULT_OUTPUT_DIR = Path(__file__).parent / "output"
+
+#: Repo root — where the ``BENCH_*.json`` perf-trajectory files live.
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: Measured cycles / warmup cycles per configuration.
 PAPER_SCALE = {"ncycles": 3, "warmup": 2, "quick": False}
 QUICK_SCALE = {"ncycles": 2, "warmup": 1, "quick": True}
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--output-dir",
+        action="store",
+        default=None,
+        help=(
+            "Directory for benchmark text reports (default: "
+            "benchmarks/output, or REPRO_BENCH_OUTPUT_DIR if set). "
+            "Shared by every bench script."
+        ),
+    )
+
+
+def resolve_output_dir(flag_value=None) -> Path:
+    """The single output-dir resolution: flag > env > default."""
+    if flag_value:
+        return Path(flag_value)
+    env = os.environ.get("REPRO_BENCH_OUTPUT_DIR")
+    if env:
+        return Path(env)
+    return DEFAULT_OUTPUT_DIR
+
+
+def bench_json_path(name: str) -> Path:
+    """Repo-root path for a ``BENCH_<name>.json`` trajectory file."""
+    return REPO_ROOT / f"BENCH_{name}.json"
 
 
 def bench_scale() -> dict:
@@ -41,14 +78,15 @@ def scale() -> dict:
 
 
 @pytest.fixture(scope="session")
-def report_dir() -> Path:
-    OUTPUT_DIR.mkdir(exist_ok=True)
-    return OUTPUT_DIR
+def report_dir(request) -> Path:
+    out = resolve_output_dir(request.config.getoption("--output-dir"))
+    out.mkdir(parents=True, exist_ok=True)
+    return out
 
 
 @pytest.fixture
 def save_report(report_dir):
-    """Print a report block and persist it under benchmarks/output/."""
+    """Print a report block and persist it under the output dir."""
 
     def _save(name: str, text: str) -> None:
         print("\n" + text + "\n")

@@ -27,9 +27,19 @@ import dataclasses
 import difflib
 import hashlib
 import json
+import queue as queue_module
+import threading
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import TYPE_CHECKING, Callable, Dict, Optional, Sequence, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterator,
+    Optional,
+    Sequence,
+    Union,
+)
 
 from repro import __version__
 from repro.driver.driver import ParthenonDriver, RunResult
@@ -43,12 +53,14 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = [
     "ConfigError",
+    "ProgressEvent",
     "RunSpec",
     "Simulation",
     "Trace",
     "build_execution_config",
     "build_optimization_flags",
     "build_simulation_params",
+    "iter_progress",
     "run",
 ]
 
@@ -156,6 +168,39 @@ def build_simulation_params(**options: object) -> SimulationParams:
 
 # --------------------------------------------------------------- RunSpec
 
+#: ExecutionConfig fields settable through the JSON wire schema
+#: (:meth:`RunSpec.from_json`).  Only primitive knobs travel over the
+#: wire; hardware specs, calibration constants and the optimization
+#: speedup constants stay server-side defaults.
+JSON_CONFIG_FIELDS: Sequence[str] = (
+    "backend",
+    "num_gpus",
+    "ranks_per_gpu",
+    "cpu_ranks",
+    "num_nodes",
+    "mode",
+    "kernel_mode",
+    "kernel_backend",
+    "checkpoint_every",
+    "num_shards",
+)
+
+#: SimulationParams fields settable through the JSON wire schema — all
+#: of them (every field is a primitive).
+JSON_PARAMS_FIELDS: Sequence[str] = tuple(
+    f.name for f in dataclasses.fields(SimulationParams)
+)
+
+#: Top-level keys of the RunSpec JSON document.
+JSON_SPEC_FIELDS: Sequence[str] = (
+    "deck",
+    "params",
+    "config",
+    "ncycles",
+    "warmup",
+    "label",
+)
+
 
 @dataclass(frozen=True)
 class RunSpec:
@@ -222,6 +267,98 @@ class RunSpec:
     @classmethod
     def from_file(cls, path: Union[str, Path], **overrides) -> "RunSpec":
         return cls.from_deck(Path(path).read_text(), **overrides)
+
+    # -------------------------------------------------------------- JSON
+
+    def to_json(self) -> dict:
+        """JSON-dict form of the spec — the service wire schema.
+
+        Round-trips through :meth:`from_json` for every wire-expressible
+        spec (anything built from the validating builders' primitive
+        options).  Optimization flags appear only when enabled, so the
+        common case is compact.
+        """
+        config = {
+            name: getattr(self.config, name) for name in JSON_CONFIG_FIELDS
+        }
+        flags = {
+            f.name: getattr(self.config.optimizations, f.name)
+            for f in dataclasses.fields(OptimizationFlags)
+            if isinstance(f.default, bool)
+            and getattr(self.config.optimizations, f.name)
+        }
+        if flags:
+            config["optimizations"] = flags
+        doc = {
+            "params": dataclasses.asdict(self.params),
+            "config": config,
+            "ncycles": self.ncycles,
+            "warmup": self.warmup,
+        }
+        if self.label:
+            doc["label"] = self.label
+        return doc
+
+    @classmethod
+    def from_json(cls, doc: object) -> "RunSpec":
+        """Build a spec from its JSON-dict form, validating every layer.
+
+        Two shapes are accepted: ``{"deck": "...", ...}`` (a rendered
+        input deck, exclusive with ``params``/``config``) and the
+        structured form ``{"params": {...}, "config": {...}, "ncycles":
+        N, "warmup": N, "label": "..."}``.  Unknown field names anywhere
+        — top level, params, config — raise :class:`ConfigError` with
+        the valid options listed, exactly like the builders.
+        """
+        if not isinstance(doc, dict):
+            raise ConfigError(
+                f"RunSpec JSON must be an object, got {type(doc).__name__}"
+            )
+        _check_names("RunSpec", doc, JSON_SPEC_FIELDS)
+        if "deck" in doc:
+            if "params" in doc or "config" in doc:
+                raise ConfigError(
+                    "RunSpec JSON takes either 'deck' or "
+                    "'params'/'config', not both"
+                )
+            if not isinstance(doc["deck"], str):
+                raise ConfigError("RunSpec 'deck' must be a string")
+            kwargs = {}
+            for field in ("ncycles", "warmup", "label"):
+                if field in doc:
+                    kwargs[field] = doc[field]
+            try:
+                return cls.from_deck(doc["deck"], **kwargs)
+            except (TypeError, ValueError) as exc:
+                raise ConfigError(f"invalid RunSpec JSON: {exc}") from exc
+        params_doc = doc.get("params", {})
+        config_doc = doc.get("config", {})
+        for name, value in (("params", params_doc), ("config", config_doc)):
+            if not isinstance(value, dict):
+                raise ConfigError(
+                    f"RunSpec {name!r} must be an object, "
+                    f"got {type(value).__name__}"
+                )
+        config_doc = dict(config_doc)
+        optimizations = config_doc.pop("optimizations", None)
+        if optimizations is not None and not isinstance(optimizations, dict):
+            raise ConfigError("RunSpec 'config.optimizations' must be an object")
+        _check_names("execution", config_doc, JSON_CONFIG_FIELDS)
+        _check_names("simulation", params_doc, JSON_PARAMS_FIELDS)
+        params = build_simulation_params(**params_doc)
+        config = build_execution_config(
+            optimizations=optimizations, **config_doc
+        )
+        try:
+            return cls(
+                params=params,
+                config=config,
+                ncycles=doc.get("ncycles", 4),
+                warmup=doc.get("warmup", 2),
+                label=str(doc.get("label", "")),
+            )
+        except TypeError as exc:
+            raise ConfigError(f"invalid RunSpec JSON: {exc}") from exc
 
     # ---------------------------------------------------------- identity
 
@@ -396,12 +533,21 @@ class Simulation:
                 )
         return self._driver
 
-    def run(self) -> RunResult:
+    def run(
+        self, on_cycle: Optional[Callable[[ParthenonDriver], None]] = None
+    ) -> RunResult:
         """Execute the spec and return the result.
 
         The first call consumes the lazily-built driver (so pre-run
         inspection of ``.driver`` sees the same mesh the run uses);
         calling ``run()`` again executes a fresh driver.
+
+        ``on_cycle`` is invoked with the driver after every completed
+        cycle (warmup cycles included) — the per-cycle progress hook
+        behind :func:`iter_progress` and the service event stream.  It
+        runs outside every profiler region and after the cycle's metrics
+        snapshot, so observing progress never perturbs the simulated
+        outcome.
         """
         if self._result is not None:
             self._driver = None
@@ -421,6 +567,7 @@ class Simulation:
                 self.spec.ncycles,
                 warmup=self.spec.warmup,
                 checkpointer=checkpointer,
+                on_cycle=on_cycle,
             )
         finally:
             # Shard workers and their shared segments are only needed
@@ -490,3 +637,123 @@ def run(
 ) -> RunResult:
     """One-call convenience: execute ``spec`` and return its result."""
     return Simulation(spec, initial_conditions=initial_conditions).run()
+
+
+# -------------------------------------------------------------- progress
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One completed cycle's cumulative progress.
+
+    Derived from the :class:`~repro.observability.MetricsRegistry`
+    per-cycle snapshot the driver appends at every cycle boundary —
+    simulated quantities only, no wall-clock — so a progress stream is
+    deterministic for a deterministic spec.
+    """
+
+    #: Cycles completed since the start of the run, warmup included.
+    cycle: int
+    #: Measured cycles completed (0 while the warmup front develops).
+    measured: int
+    #: Measured-cycle target — ``done`` when ``measured`` reaches it.
+    ncycles: int
+    #: True while this is still a warmup cycle (discarded from metrics).
+    warmup: bool
+    #: Current block count — the AMR activity signal.
+    blocks: int
+    #: Cumulative counter snapshot (kernel launches, ghost traffic,
+    #: remesh events, ...) as of this cycle.
+    counters: Dict[str, float]
+
+    @property
+    def done(self) -> bool:
+        return self.measured >= self.ncycles
+
+    def to_dict(self) -> dict:
+        """JSON-clean dict (the service event-stream line format)."""
+        return {
+            "cycle": self.cycle,
+            "measured": self.measured,
+            "ncycles": self.ncycles,
+            "warmup": self.warmup,
+            "blocks": self.blocks,
+            "counters": dict(self.counters),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "ProgressEvent":
+        return cls(
+            cycle=int(doc["cycle"]),
+            measured=int(doc["measured"]),
+            ncycles=int(doc["ncycles"]),
+            warmup=bool(doc["warmup"]),
+            blocks=int(doc["blocks"]),
+            counters=dict(doc["counters"]),
+        )
+
+    @classmethod
+    def from_driver(
+        cls, driver: ParthenonDriver, ncycles: int
+    ) -> "ProgressEvent":
+        """Snapshot the driver's registry right after a completed cycle."""
+        metrics = driver.metrics
+        if metrics.cycle_snapshots:
+            counters = dict(metrics.cycle_snapshots[-1]["counters"])
+        else:  # pragma: no cover — end_cycle always precedes the hook
+            counters = dict(sorted(metrics.counters.items()))
+        in_warmup = not driver._measuring
+        return cls(
+            cycle=driver.cycle,
+            measured=0 if in_warmup else driver.prof.cycles,
+            ncycles=ncycles,
+            warmup=in_warmup,
+            blocks=int(metrics.gauges.get("blocks", 0)),
+            counters=counters,
+        )
+
+
+def iter_progress(sim: Simulation) -> Iterator[ProgressEvent]:
+    """Run ``sim`` and yield a :class:`ProgressEvent` per completed cycle.
+
+    The simulation executes on a background thread while events are
+    consumed; the final event has ``done == True`` (unless the run hit
+    OOM first), and by the time the iterator is exhausted
+    ``sim.result()`` is available without re-running.  An exception
+    inside the run is re-raised here, after any events that preceded it.
+
+    Abandoning the iterator early does not cancel the run — it completes
+    in the background and remaining events are discarded.
+    """
+    if not isinstance(sim, Simulation):
+        raise ConfigError(
+            f"iter_progress expects a Simulation, got {type(sim).__name__}"
+        )
+    events: "queue_module.Queue[object]" = queue_module.Queue()
+    finished = object()
+
+    def pump() -> None:
+        try:
+            sim.run(
+                on_cycle=lambda driver: events.put(
+                    ProgressEvent.from_driver(driver, sim.spec.ncycles)
+                )
+            )
+        except BaseException as exc:  # re-raised on the consumer side
+            events.put(exc)
+        else:
+            events.put(finished)
+
+    worker = threading.Thread(
+        target=pump, name="repro-iter-progress", daemon=True
+    )
+    worker.start()
+    while True:
+        item = events.get()
+        if item is finished:
+            worker.join()
+            return
+        if isinstance(item, BaseException):
+            worker.join()
+            raise item
+        yield item

@@ -14,6 +14,7 @@ Usage::
     python -m repro trace input.vibe --format canonical   # golden-file JSON
     python -m repro trace input.vibe --format chrome -o t.json  # Perfetto
     python -m repro trace --diff a.json b.json --tolerance 0.05
+    python -m repro serve --dir svc --port 8321   # campaign-as-a-service
 
 Everything routes through :mod:`repro.api` (``RunSpec`` + ``Simulation``
 + the validating builders), so a typo like ``--kernel-mode paked`` fails
@@ -288,6 +289,55 @@ def cmd_trace(args) -> int:
 def cmd_deck(args) -> int:
     params, config = _build(args)
     sys.stdout.write(render_input(params, config))
+    return 0
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.service import QuotaPolicy, SweepServer, TenantQuotas
+
+    try:
+        policy = QuotaPolicy(
+            rate_per_s=args.rate,
+            burst=args.burst,
+            max_inflight=args.max_inflight,
+            blocked=frozenset(args.block or ()),
+        )
+    except ValueError as exc:
+        raise ConfigError(str(exc))
+    server = SweepServer(
+        args.dir,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        retries=args.retries,
+        timeout_s=args.timeout,
+        quotas=TenantQuotas(policy),
+        execution=args.execution,
+    )
+
+    async def _serve() -> None:
+        await server.start()
+        if server.queue.recovered:
+            print(
+                f"recovered {len(server.queue.recovered)} interrupted "
+                "job(s) from the journal",
+                file=sys.stderr,
+            )
+        print(f"sweep service listening on {server.url} (data: {server.data_dir})")
+        print(f"  submit:  curl -X POST {server.url}/runs -d @spec.json")
+        print(f"  status:  curl {server.url}/runs/<id>")
+        print(f"  events:  curl -N {server.url}/runs/<id>/events")
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("shutting down (journal keeps pending jobs)", file=sys.stderr)
     return 0
 
 
@@ -593,6 +643,55 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     _add_config_args(p_rec)
     p_rec.set_defaults(fn=cmd_recommend)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the sweep service: an HTTP server with a persistent, "
+        "dedup-by-cache-key job queue over a campaign directory",
+    )
+    p_serve.add_argument(
+        "--dir", required=True,
+        help="service data directory (queue journal + artifact cache)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=8321,
+        help="listen port (0 = ephemeral; default 8321)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=2,
+        help="concurrent run executors (default 2)",
+    )
+    p_serve.add_argument(
+        "--retries", type=int, default=1,
+        help="re-attempts per failing run before recording an error",
+    )
+    p_serve.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-run wall-clock limit in seconds",
+    )
+    p_serve.add_argument(
+        "--execution", choices=("process", "thread"), default="process",
+        help="run executor: forked processes (crash isolation) or "
+        "threads (lighter; for tests and constrained hosts)",
+    )
+    p_serve.add_argument(
+        "--rate", type=float, default=50.0,
+        help="sustained submissions/s per tenant (token-bucket refill)",
+    )
+    p_serve.add_argument(
+        "--burst", type=int, default=100,
+        help="token-bucket burst capacity per tenant",
+    )
+    p_serve.add_argument(
+        "--max-inflight", type=int, default=64,
+        help="max live (pending+running) jobs per tenant",
+    )
+    p_serve.add_argument(
+        "--block", action="append", metavar="TENANT",
+        help="refuse this tenant outright (repeatable)",
+    )
+    p_serve.set_defaults(fn=cmd_serve)
 
     args = parser.parse_args(argv)
     try:

@@ -375,6 +375,7 @@ class ParthenonDriver:
         ncycles: int,
         warmup: int = 0,
         checkpointer: Optional[object] = None,
+        on_cycle: Optional[Callable[["ParthenonDriver"], None]] = None,
     ) -> RunResult:
         """Advance ``ncycles`` measured cycles (after ``warmup`` unmeasured
         ones) and report.
@@ -393,12 +394,20 @@ class ParthenonDriver:
         predates it (``_measuring``), and exactly the remaining measured
         cycles execute.  Checkpointing itself touches no profiler region
         and no metric, so cadence cannot perturb the result.
+
+        ``on_cycle`` is an observation hook called with the driver after
+        every completed cycle (and after the checkpointer, so a hook
+        that crashes never loses a checkpoint).  It runs outside every
+        profiler region — like checkpointing, observing progress cannot
+        perturb the simulated outcome.
         """
         if not self._measuring:
             while self.cycle < warmup and not self.oom:
                 self.do_cycle()
                 if checkpointer is not None:
                     checkpointer.save(self)
+                if on_cycle is not None:
+                    on_cycle(self)
             if warmup:
                 self.reset_metrics()
             self._measuring = True
@@ -406,6 +415,8 @@ class ParthenonDriver:
             self.do_cycle()
             if checkpointer is not None:
                 checkpointer.save(self)
+            if on_cycle is not None:
+                on_cycle(self)
         return self.result()
 
     def reset_metrics(self) -> None:

@@ -22,13 +22,15 @@ exactly the transient-fault model the recovery path exists for.
 
 from __future__ import annotations
 
+import json
 import signal
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from pathlib import Path
+from typing import Callable, Iterator, Optional
 
-from repro.api import RunSpec, Simulation
+from repro.api import ProgressEvent, RunSpec, Simulation
 from repro.orchestration.artifacts import error_artifact, result_to_artifact
 from repro.resilience import FaultInjector, FaultPlan, latest_checkpoint
 
@@ -50,6 +52,14 @@ class PointTask:
     checkpoint_dir: Optional[str] = None
     #: Deterministic faults to arm inside this point's worker.
     fault_plan: Optional[FaultPlan] = None
+    #: Append one :class:`~repro.api.ProgressEvent` JSON line per
+    #: completed cycle to this file (None disables).  The service tails
+    #: it to stream per-cycle progress; lines are flushed per cycle so a
+    #: reader in another process sees each cycle as it completes.  On a
+    #: retry the cycle numbers restart (or continue from the checkpoint
+    #: resume point) — readers key on ``measured``/``ncycles``, not on
+    #: line count.
+    progress_path: Optional[str] = None
 
 
 @contextmanager
@@ -96,6 +106,29 @@ def _attach_resilience(
         artifact["resilience"] = section
 
 
+@contextmanager
+def _progress_sink(
+    task: PointTask,
+) -> Iterator[Optional[Callable]]:
+    """Per-cycle hook appending ``ProgressEvent`` lines to the task's
+    progress file (None when the task carries no ``progress_path``)."""
+    if task.progress_path is None:
+        yield None
+        return
+    path = Path(task.progress_path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a") as stream:
+
+        def on_cycle(driver) -> None:
+            event = ProgressEvent.from_driver(driver, task.spec.ncycles)
+            stream.write(
+                json.dumps(event.to_dict(), sort_keys=True) + "\n"
+            )
+            stream.flush()
+
+        yield on_cycle
+
+
 def execute_point(task: PointTask) -> dict:
     """Run one point to an artifact — success or structured failure."""
     injector = (
@@ -118,8 +151,8 @@ def execute_point(task: PointTask) -> dict:
                 restart_from=restart_from,
                 fault_injector=injector,
             )
-            with _deadline(task.timeout_s):
-                result = sim.run()
+            with _deadline(task.timeout_s), _progress_sink(task) as on_cycle:
+                result = sim.run(on_cycle=on_cycle)
             if sim.resumed_from_cycle is not None:
                 resumed_from_cycle = sim.resumed_from_cycle
             if injector is not None:

@@ -1,0 +1,58 @@
+"""Campaign-as-a-service: the asyncio sweep server and its parts.
+
+The service turns the library's run machinery into a long-lived HTTP
+endpoint: submissions dedup by :meth:`repro.api.RunSpec.cache_key`
+against a persistent journal, execute through the crash-isolated
+campaign worker, and land in the same content-addressed run cache that
+offline campaigns use.  See DESIGN.md §13 for the journal format, dedup
+semantics, and quota model.
+"""
+
+from repro.service.client import Response, ServerThread, ServiceClient
+from repro.service.jobs import (
+    CANCELLED,
+    DONE,
+    ERROR,
+    PENDING,
+    RUNNING,
+    TERMINAL,
+    Job,
+    JobQueue,
+    JournalError,
+    QueueCounts,
+)
+from repro.service.quota import (
+    Forbidden,
+    QuotaExceeded,
+    QuotaPolicy,
+    RateLimited,
+    ServiceError,
+    TenantQuotas,
+    TokenBucket,
+)
+from repro.service.server import SweepServer, load_result
+
+__all__ = [
+    "CANCELLED",
+    "DONE",
+    "ERROR",
+    "Forbidden",
+    "Job",
+    "JobQueue",
+    "JournalError",
+    "PENDING",
+    "QueueCounts",
+    "QuotaExceeded",
+    "QuotaPolicy",
+    "RUNNING",
+    "RateLimited",
+    "Response",
+    "ServerThread",
+    "ServiceClient",
+    "ServiceError",
+    "SweepServer",
+    "TERMINAL",
+    "TokenBucket",
+    "TenantQuotas",
+    "load_result",
+]

@@ -1,0 +1,261 @@
+"""A small synchronous client for the sweep service, plus a
+``ServerThread`` harness that runs a :class:`SweepServer` on a
+background event loop — how the tests and the load benchmark drive a
+real server over real sockets without blocking the caller.
+
+The client is stdlib sockets, not ``urllib``, for two reasons: the
+event stream has no Content-Length (it ends at EOF, and ``urllib``
+buffers), and the benchmark wants the cheapest possible request path so
+measured latency is the *server's*, not the client library's.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+class ServiceUnavailable(ConnectionError):
+    """The server did not answer within the connect deadline."""
+
+
+@dataclass
+class Response:
+    """One HTTP exchange, body already JSON-decoded where possible."""
+
+    status: int
+    headers: Dict[str, str]
+    body: bytes
+
+    @property
+    def json(self) -> dict:
+        return json.loads(self.body.decode("utf-8"))
+
+
+class ServiceClient:
+    """Synchronous client bound to one server address."""
+
+    def __init__(
+        self, host: str, port: int, timeout_s: float = 30.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+
+    # -------------------------------------------------------------- wire
+
+    def _connect(self) -> socket.socket:
+        return socket.create_connection(
+            (self.host, self.port), timeout=self.timeout_s
+        )
+
+    def _send(
+        self,
+        sock: socket.socket,
+        method: str,
+        path: str,
+        body: Optional[bytes],
+        headers: Dict[str, str],
+    ) -> None:
+        lines = [
+            f"{method} {path} HTTP/1.1",
+            f"Host: {self.host}:{self.port}",
+            "Connection: close",
+        ]
+        if body is not None:
+            lines.append("Content-Type: application/json")
+            lines.append(f"Content-Length: {len(body)}")
+        lines.extend(f"{name}: {value}" for name, value in headers.items())
+        sock.sendall(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
+        if body is not None:
+            sock.sendall(body)
+
+    @staticmethod
+    def _read_head(reader) -> Tuple[int, Dict[str, str]]:
+        status_line = reader.readline().decode("latin-1")
+        parts = status_line.split(None, 2)
+        if len(parts) < 2 or not parts[0].startswith("HTTP/"):
+            raise ConnectionError(f"malformed status line: {status_line!r}")
+        status = int(parts[1])
+        headers: Dict[str, str] = {}
+        while True:
+            raw = reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, sep, value = raw.decode("latin-1").partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+        return status, headers
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        doc: Optional[dict] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Response:
+        body = (
+            json.dumps(doc, sort_keys=True).encode("utf-8")
+            if doc is not None
+            else None
+        )
+        with self._connect() as sock:
+            self._send(sock, method, path, body, headers or {})
+            with sock.makefile("rb") as reader:
+                status, resp_headers = self._read_head(reader)
+                length = resp_headers.get("content-length")
+                payload = (
+                    reader.read(int(length))
+                    if length is not None
+                    else reader.read()
+                )
+        return Response(status=status, headers=resp_headers, body=payload)
+
+    # --------------------------------------------------------- endpoints
+
+    def submit(
+        self,
+        spec_doc: dict,
+        tenant: Optional[str] = None,
+        priority: int = 0,
+    ) -> Response:
+        doc = dict(spec_doc)
+        if priority:
+            doc["priority"] = priority
+        headers = {"X-Tenant": tenant} if tenant is not None else {}
+        return self.request("POST", "/runs", doc=doc, headers=headers)
+
+    def status(self, run_id: str) -> Response:
+        return self.request("GET", f"/runs/{run_id}")
+
+    def result(self, run_id: str) -> Response:
+        return self.request("GET", f"/runs/{run_id}/result")
+
+    def cancel(self, run_id: str) -> Response:
+        return self.request("DELETE", f"/runs/{run_id}")
+
+    def stats(self) -> Response:
+        return self.request("GET", "/stats")
+
+    def events(self, run_id: str) -> Iterator[dict]:
+        """Yield the run's NDJSON progress events as they stream.
+
+        Terminates when the server closes the connection (after its
+        ``{"event": "end", ...}`` line).
+        """
+        with self._connect() as sock:
+            self._send(sock, "GET", f"/runs/{run_id}/events", None, {})
+            with sock.makefile("rb") as reader:
+                status, _ = self._read_head(reader)
+                if status != 200:
+                    payload = reader.read()
+                    raise ConnectionError(
+                        f"events stream returned {status}: {payload!r}"
+                    )
+                for raw in reader:
+                    line = raw.strip()
+                    if line:
+                        yield json.loads(line.decode("utf-8"))
+
+    def wait(
+        self, run_id: str, timeout_s: float = 120.0, poll_s: float = 0.05
+    ) -> Response:
+        """Poll status until the run reaches a terminal state."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            resp = self.status(run_id)
+            if resp.status != 200:
+                return resp
+            if resp.json["status"] in ("done", "error", "cancelled"):
+                return resp
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"run {run_id} still {resp.json['status']} "
+                    f"after {timeout_s}s"
+                )
+            time.sleep(poll_s)
+
+
+class ServerThread:
+    """Run a :class:`SweepServer` on a dedicated event-loop thread.
+
+    ``with ServerThread(data_dir) as client:`` starts the server on an
+    ephemeral port, yields a bound :class:`ServiceClient`, and tears the
+    loop down on exit.  ``stop()`` without ``join_loop`` kill semantics:
+    in-flight jobs stay ``running`` in the journal, which is exactly the
+    state the restart-resume test needs.
+    """
+
+    def __init__(self, data_dir, **server_kwargs) -> None:
+        # Local import: keep client importable without asyncio machinery.
+        from repro.service.server import SweepServer
+
+        server_kwargs.setdefault("execution", "thread")
+        self.server = SweepServer(data_dir, **server_kwargs)
+        self._thread: Optional[threading.Thread] = None
+        self._loop = None
+        self._started = threading.Event()
+        self._startup_error: List[BaseException] = []
+
+    def start(self) -> "ServerThread":
+        import asyncio
+
+        def _run() -> None:
+            loop = asyncio.new_event_loop()
+            self._loop = loop
+            asyncio.set_event_loop(loop)
+
+            async def _main() -> None:
+                try:
+                    await self.server.start()
+                except BaseException as exc:  # startup failed — surface it
+                    self._startup_error.append(exc)
+                    raise
+                finally:
+                    self._started.set()
+
+            try:
+                loop.run_until_complete(_main())
+                loop.run_forever()
+            finally:
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=_run, name="sweep-server", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=30.0):
+            raise ServiceUnavailable("server failed to start within 30s")
+        if self._startup_error:
+            raise self._startup_error[0]
+        return self
+
+    def stop(self, timeout_s: float = 10.0) -> None:
+        import asyncio
+
+        if self._loop is None or self._thread is None:
+            return
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.stop(), self._loop
+        )
+        try:
+            future.result(timeout=timeout_s)
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=timeout_s)
+
+    def client(self, timeout_s: float = 30.0) -> ServiceClient:
+        return ServiceClient(
+            self.server.host, self.server.port, timeout_s=timeout_s
+        )
+
+    def __enter__(self) -> ServiceClient:
+        self.start()
+        return self.client()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,292 @@
+"""Persistent priority job queue with dedup-by-cache-key.
+
+The queue is the service's source of truth for *what work exists and
+where it stands*; the run cache (``orchestration.cache.RunCache``)
+remains the source of truth for *results*.  Three properties carry the
+"millions of users" story:
+
+* **Dedup by content address.**  A job's id *is* its spec's
+  :meth:`~repro.api.RunSpec.cache_key`, so N identical submissions — no
+  matter how many tenants they come from — coalesce into one queue entry
+  with ``submissions == N``: one execution, N subscribers.  A
+  resubmission of a failed or cancelled key *reactivates* the same entry
+  rather than duplicating it.
+* **Crash-consistent journal.**  Every mutation rewrites
+  ``queue.json`` with the checkpoint writer's atomic protocol
+  (tmp + fsync + rename), so a killed server can never leave a torn
+  journal.  On restart, jobs found ``running`` revert to ``pending`` —
+  the execution died with the server — and are re-dispatched; ``done``
+  jobs keep pointing at their cached artifacts.
+* **Priority with FIFO ties.**  ``claim`` hands out the
+  highest-priority pending job, submission order breaking ties, so a
+  flood of bulk work cannot starve an earlier interactive request at
+  equal priority.
+
+The queue is deliberately not thread-safe: the server mutates it only
+from the event-loop thread (workers hand results back via the loop), so
+the journal write is the only synchronization that matters.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.api import RunSpec
+
+JOURNAL_NAME = "queue.json"
+QUEUE_SCHEMA_VERSION = 1
+
+#: Job lifecycle: ``pending -> running -> done | error``, with
+#: ``cancelled`` reachable from the two non-terminal states.
+PENDING = "pending"
+RUNNING = "running"
+DONE = "done"
+ERROR = "error"
+CANCELLED = "cancelled"
+
+STATUSES = (PENDING, RUNNING, DONE, ERROR, CANCELLED)
+TERMINAL = frozenset({DONE, ERROR, CANCELLED})
+
+
+class JournalError(ValueError):
+    """The on-disk journal is unreadable or from an unknown schema."""
+
+
+@dataclass
+class Job:
+    """One queue entry — every field JSON-primitive for the journal."""
+
+    #: The spec's cache key: job id, dedup key, and artifact address.
+    key: str
+    #: The spec in deck form (``RunSpec.from_deck`` reconstructs it).
+    deck: str
+    tenant: str = "anonymous"
+    priority: int = 0
+    #: Submission sequence number — the FIFO tie-break within a priority.
+    seq: int = 0
+    status: str = PENDING
+    #: How many submissions coalesced into this entry.
+    submissions: int = 1
+    #: Times a worker claimed this job (restart recoveries included).
+    attempts: int = 0
+    #: True when the job resolved straight from the run cache.
+    cached: bool = False
+    #: ``"Type: message"`` summary for ``status == "error"``.
+    error: Optional[str] = None
+    label: str = ""
+
+    def spec(self) -> RunSpec:
+        return RunSpec.from_deck(self.deck)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "Job":
+        return cls(**doc)
+
+
+@dataclass
+class QueueCounts:
+    """Status totals for ``/stats`` and scheduling decisions."""
+
+    pending: int = 0
+    running: int = 0
+    done: int = 0
+    error: int = 0
+    cancelled: int = 0
+    by_status: Dict[str, int] = field(default_factory=dict)
+
+
+class JobQueue:
+    """The persistent queue for one service data directory."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.journal = self.root / JOURNAL_NAME
+        self._jobs: Dict[str, Job] = {}
+        self._seq = 0
+        #: Keys reverted from ``running`` to ``pending`` by the last
+        #: load — the jobs whose executions died with the previous
+        #: server process.
+        self.recovered: List[str] = []
+        self._load()
+
+    # ---------------------------------------------------------- journal
+
+    def _load(self) -> None:
+        if not self.journal.is_file():
+            return
+        try:
+            doc = json.loads(self.journal.read_text())
+        except json.JSONDecodeError as exc:  # pragma: no cover — atomic
+            raise JournalError(f"corrupt queue journal: {exc}") from exc
+        if doc.get("schema_version") != QUEUE_SCHEMA_VERSION:
+            raise JournalError(
+                f"queue journal schema {doc.get('schema_version')!r} != "
+                f"{QUEUE_SCHEMA_VERSION} (incompatible service version?)"
+            )
+        self._seq = int(doc.get("seq", 0))
+        for job_doc in doc.get("jobs", []):
+            job = Job.from_dict(job_doc)
+            if job.status == RUNNING:
+                # The claiming worker died with the previous process;
+                # the run cache still dedups any work it completed.
+                job.status = PENDING
+                self.recovered.append(job.key)
+            self._jobs[job.key] = job
+        if self.recovered:
+            self._persist()
+
+    def _persist(self) -> None:
+        """Atomic journal rewrite: tmp + fsync + rename (DESIGN §9's
+        checkpoint protocol), so readers never observe a torn journal."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        doc = {
+            "schema_version": QUEUE_SCHEMA_VERSION,
+            "seq": self._seq,
+            "jobs": [
+                job.to_dict()
+                for job in sorted(self._jobs.values(), key=lambda j: j.seq)
+            ],
+        }
+        tmp = self.journal.with_suffix(f".json.tmp{os.getpid()}")
+        try:
+            with open(tmp, "w") as f:
+                json.dump(doc, f, sort_keys=True, indent=2)
+                f.write("\n")
+                f.flush()
+                os.fsync(f.fileno())
+            os.replace(tmp, self.journal)
+        finally:
+            if tmp.exists():  # pragma: no cover — only on a failed write
+                tmp.unlink()
+
+    # --------------------------------------------------------- lifecycle
+
+    def submit(
+        self,
+        spec: RunSpec,
+        tenant: str = "anonymous",
+        priority: int = 0,
+    ) -> Tuple[Job, bool]:
+        """Enqueue a spec; returns ``(job, created)``.
+
+        ``created`` is False when the submission coalesced into an
+        existing live entry (pending, running, or done) — the dedup
+        path.  A failed or cancelled entry is *reactivated*: same key,
+        same entry, back to pending, ``created`` True because a new
+        execution was scheduled.
+        """
+        key = spec.cache_key()
+        job = self._jobs.get(key)
+        if job is not None:
+            job.submissions += 1
+            # A duplicate may raise the stakes but never lower them.
+            job.priority = max(job.priority, priority)
+            if job.status in (ERROR, CANCELLED):
+                job.status = PENDING
+                job.error = None
+                job.cached = False
+                self._persist()
+                return job, True
+            self._persist()
+            return job, False
+        self._seq += 1
+        job = Job(
+            key=key,
+            deck=spec.to_deck(),
+            tenant=tenant,
+            priority=priority,
+            seq=self._seq,
+            label=spec.label or spec.describe(),
+        )
+        self._jobs[key] = job
+        self._persist()
+        return job, True
+
+    def claim(self) -> Optional[Job]:
+        """Highest-priority pending job (FIFO within a priority), marked
+        running — or None when nothing is pending."""
+        pending = [j for j in self._jobs.values() if j.status == PENDING]
+        if not pending:
+            return None
+        job = min(pending, key=lambda j: (-j.priority, j.seq))
+        job.status = RUNNING
+        job.attempts += 1
+        self._persist()
+        return job
+
+    def finish(
+        self,
+        key: str,
+        status: str,
+        error: Optional[str] = None,
+        cached: bool = False,
+    ) -> Job:
+        """Record a claimed job's outcome (``done`` or ``error``).
+
+        A job cancelled while running stays cancelled — the late result
+        is still cached for the *next* submission, but this entry's fate
+        was already decided by the tenant.
+        """
+        if status not in (DONE, ERROR):
+            raise ValueError(f"finish() takes 'done' or 'error', got {status!r}")
+        job = self._jobs[key]
+        if job.status == CANCELLED:
+            return job
+        job.status = status
+        job.error = error
+        job.cached = cached
+        self._persist()
+        return job
+
+    def cancel(self, key: str) -> Tuple[Optional[Job], bool]:
+        """Cancel a job; returns ``(job, changed)``.
+
+        Terminal jobs are left untouched (``changed`` False) — a result
+        that already exists cannot be unhappened.
+        """
+        job = self._jobs.get(key)
+        if job is None:
+            return None, False
+        if job.status in TERMINAL:
+            return job, False
+        job.status = CANCELLED
+        self._persist()
+        return job, True
+
+    # ----------------------------------------------------------- queries
+
+    def get(self, key: str) -> Optional[Job]:
+        return self._jobs.get(key)
+
+    def jobs(self) -> List[Job]:
+        return sorted(self._jobs.values(), key=lambda j: j.seq)
+
+    def inflight(self, tenant: str) -> int:
+        """Live (pending + running) entries owned by ``tenant`` — the
+        in-flight quota input.  Coalesced submissions count against the
+        entry's original owner only."""
+        return sum(
+            1
+            for j in self._jobs.values()
+            if j.tenant == tenant and j.status not in TERMINAL
+        )
+
+    def counts(self) -> QueueCounts:
+        counts = QueueCounts()
+        by_status: Dict[str, int] = {status: 0 for status in STATUSES}
+        for job in self._jobs.values():
+            by_status[job.status] += 1
+        counts.pending = by_status[PENDING]
+        counts.running = by_status[RUNNING]
+        counts.done = by_status[DONE]
+        counts.error = by_status[ERROR]
+        counts.cancelled = by_status[CANCELLED]
+        counts.by_status = by_status
+        return counts

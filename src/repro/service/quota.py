@@ -1,0 +1,161 @@
+"""Per-tenant admission control: token buckets and in-flight quotas.
+
+Every rejection is a *structured* error — an exception carrying the
+HTTP status and a JSON body the server returns verbatim — so clients can
+machine-read why they were turned away and when to retry:
+
+* 403 ``forbidden`` — the tenant is on the block list.
+* 403 ``quota_exceeded`` — the tenant already owns ``max_inflight``
+  live jobs; the body names the limit and the current count.
+* 429 ``rate_limited`` — the tenant's token bucket is empty; the body
+  carries ``retry_after_s`` (also surfaced as a ``Retry-After`` header).
+
+Checks run in that order: identity, then standing quota, then rate —
+a blocked tenant never consumes a token, and a tenant at quota is told
+so even when their bucket happens to be full.
+
+The bucket clock is injectable (``clock=`` a monotonic-seconds callable)
+so tests can run the refill math deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet
+
+
+class ServiceError(Exception):
+    """An admission rejection with an HTTP status and JSON body."""
+
+    status = 500
+
+    def __init__(self, message: str, body: dict) -> None:
+        super().__init__(message)
+        self.body = body
+
+
+class Forbidden(ServiceError):
+    status = 403
+
+
+class QuotaExceeded(ServiceError):
+    status = 403
+
+
+class RateLimited(ServiceError):
+    status = 429
+
+    def __init__(self, message: str, body: dict, retry_after_s: float) -> None:
+        super().__init__(message, body)
+        self.retry_after_s = retry_after_s
+
+
+@dataclass(frozen=True)
+class QuotaPolicy:
+    """The service-wide per-tenant limits."""
+
+    #: Sustained submissions per second per tenant.
+    rate_per_s: float = 50.0
+    #: Burst capacity — a fresh tenant can submit this many instantly.
+    burst: int = 100
+    #: Maximum live (pending + running) queue entries per tenant.
+    max_inflight: int = 64
+    #: Tenants refused outright.
+    blocked: FrozenSet[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        if self.rate_per_s <= 0:
+            raise ValueError(f"rate_per_s must be > 0, got {self.rate_per_s}")
+        if self.burst < 1:
+            raise ValueError(f"burst must be >= 1, got {self.burst}")
+        if self.max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be >= 1, got {self.max_inflight}"
+            )
+
+
+class TokenBucket:
+    """Classic token bucket: ``burst`` capacity, ``rate_per_s`` refill."""
+
+    def __init__(
+        self,
+        rate_per_s: float,
+        burst: int,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.rate_per_s = rate_per_s
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._last = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(
+            self.burst, self._tokens + (now - self._last) * self.rate_per_s
+        )
+        self._last = now
+
+    def take(self) -> bool:
+        """Consume one token if available."""
+        self._refill()
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+    def retry_after_s(self) -> float:
+        """Seconds until one token will be available."""
+        self._refill()
+        missing = max(0.0, 1.0 - self._tokens)
+        return missing / self.rate_per_s
+
+
+@dataclass
+class TenantQuotas:
+    """Admission control over all tenants, one bucket each."""
+
+    policy: QuotaPolicy = field(default_factory=QuotaPolicy)
+    clock: Callable[[], float] = time.monotonic
+
+    def __post_init__(self) -> None:
+        self._buckets: Dict[str, TokenBucket] = {}
+
+    def admit(self, tenant: str, inflight: int) -> None:
+        """Admit one submission from ``tenant`` or raise the structured
+        rejection.  ``inflight`` is the tenant's current live job count
+        (the queue knows; the quota layer judges)."""
+        if tenant in self.policy.blocked:
+            raise Forbidden(
+                f"tenant {tenant!r} is blocked",
+                body={"error": "forbidden", "tenant": tenant},
+            )
+        if inflight >= self.policy.max_inflight:
+            raise QuotaExceeded(
+                f"tenant {tenant!r} has {inflight} jobs in flight "
+                f"(max {self.policy.max_inflight})",
+                body={
+                    "error": "quota_exceeded",
+                    "tenant": tenant,
+                    "inflight": inflight,
+                    "max_inflight": self.policy.max_inflight,
+                },
+            )
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = self._buckets[tenant] = TokenBucket(
+                self.policy.rate_per_s, self.policy.burst, clock=self.clock
+            )
+        if not bucket.take():
+            retry_after = bucket.retry_after_s()
+            raise RateLimited(
+                f"tenant {tenant!r} exceeded {self.policy.rate_per_s}/s",
+                body={
+                    "error": "rate_limited",
+                    "tenant": tenant,
+                    "rate_per_s": self.policy.rate_per_s,
+                    "retry_after_s": retry_after,
+                },
+                retry_after_s=retry_after,
+            )

@@ -1,0 +1,595 @@
+"""The asyncio sweep server: an HTTP front door over the run cache.
+
+Stdlib only — ``asyncio.start_server`` plus a small HTTP/1.1 reader —
+because the repo's dependency contract is numpy-and-nothing-else.  One
+connection serves one request (``Connection: close``); the event stream
+ends at EOF, which keeps the framing trivial and the client universal
+(curl works).
+
+Routes::
+
+    POST   /runs              submit a RunSpec as JSON -> job document
+    GET    /runs/{id}         job status
+    GET    /runs/{id}/result  the run artifact (exact cached bytes)
+    GET    /runs/{id}/events  NDJSON stream of per-cycle progress
+    DELETE /runs/{id}         cancel
+    GET    /stats             queue counts + service counters
+    GET    /healthz           liveness
+
+Submission admission order: quota layer (403/429, structured bodies),
+then queue dedup — a duplicate submission returns the *same* run id with
+``created: false`` and costs no execution.  Workers are asyncio tasks
+dispatching claimed jobs through ``orchestration.worker.execute_point``
+in an executor — process pool by default (crash isolation: a dying
+point, or even a dying pool, becomes a structured error artifact, never
+a dead server), thread pool where fork is unwelcome.  Results land in
+the same content-addressed ``RunCache`` campaigns use, so a service
+data directory *is* a campaign directory and vice versa.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import contextlib
+import json
+import multiprocessing
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.api import ConfigError, RunSpec
+from repro.orchestration.artifacts import load_artifact
+from repro.orchestration.cache import RunCache
+from repro.orchestration.worker import PointTask, execute_point
+from repro.service.jobs import DONE, ERROR, TERMINAL, Job, JobQueue
+from repro.service.quota import ServiceError, TenantQuotas
+
+PROGRESS_DIR = "progress"
+
+#: Submissions larger than this are rejected up front (a deck plus
+#: builder options is a few KiB; megabytes means a confused client).
+MAX_BODY_BYTES = 1 << 20
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    403: "Forbidden",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+class _BadRequest(Exception):
+    """Malformed HTTP or JSON — reduced to a 400 with a structured body."""
+
+
+def _json_bytes(doc: dict) -> bytes:
+    return (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8")
+
+
+class SweepServer:
+    """One service instance over one data directory.
+
+    The data directory holds the queue journal (``queue.json``), the
+    content-addressed artifacts (``points/``, ``errors/`` — a
+    :class:`~repro.orchestration.cache.RunCache`), and per-job progress
+    streams (``progress/``).  Restarting a server on the same directory
+    resumes: the journal reload reverts in-flight jobs to pending and
+    the worker pool picks them back up, skipping any whose artifact
+    already made it to the cache.
+    """
+
+    def __init__(
+        self,
+        data_dir: Union[str, Path],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        retries: int = 1,
+        timeout_s: Optional[float] = None,
+        quotas: Optional[TenantQuotas] = None,
+        execution: str = "process",
+        poll_interval_s: float = 0.05,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if execution not in ("process", "thread"):
+            raise ValueError(
+                f"execution must be 'process' or 'thread', got {execution!r}"
+            )
+        self.data_dir = Path(data_dir)
+        self.data_dir.mkdir(parents=True, exist_ok=True)
+        self.host = host
+        self.port = port
+        self.workers = workers
+        self.retries = retries
+        self.timeout_s = timeout_s
+        self.execution = execution
+        self.poll_interval_s = poll_interval_s
+        self.queue = JobQueue(self.data_dir)
+        self.cache = RunCache(self.data_dir)
+        self.quotas = quotas if quotas is not None else TenantQuotas()
+        #: Service counters served by ``/stats``.  ``cache_hits`` counts
+        #: jobs resolved from the artifact cache without executing;
+        #: ``coalesced`` counts submissions deduped onto a live job —
+        #: both are "hits" in the load-test sense.
+        self.stats: Dict[str, int] = {
+            "requests": 0,
+            "submitted": 0,
+            "coalesced": 0,
+            "cache_hits": 0,
+            "executed": 0,
+            "failed": 0,
+            "rejected": 0,
+            "cancelled": 0,
+        }
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._worker_tasks: List[asyncio.Task] = []
+        self._wake: Optional[asyncio.Event] = None
+        self._executor: Optional[concurrent.futures.Executor] = None
+
+    # ---------------------------------------------------------- lifecycle
+
+    def _make_executor(self) -> concurrent.futures.Executor:
+        if self.execution == "thread":
+            return concurrent.futures.ThreadPoolExecutor(
+                max_workers=self.workers,
+                thread_name_prefix="repro-service",
+            )
+        kwargs = {}
+        if "fork" in multiprocessing.get_all_start_methods():
+            kwargs["mp_context"] = multiprocessing.get_context("fork")
+        return concurrent.futures.ProcessPoolExecutor(
+            max_workers=self.workers, **kwargs
+        )
+
+    async def start(self) -> None:
+        """Bind the socket and start the worker pool (non-blocking)."""
+        self._wake = asyncio.Event()
+        self._executor = self._make_executor()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        loop = asyncio.get_running_loop()
+        self._worker_tasks = [
+            loop.create_task(self._worker_loop(), name=f"sweep-worker-{i}")
+            for i in range(self.workers)
+        ]
+        # Journal recovery: anything pending (including jobs reverted
+        # from running) dispatches immediately.
+        self._wake.set()
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Stop accepting, cancel workers, shut the executor down.
+
+        Jobs still running stay ``running`` in the journal; the next
+        server on this data directory reverts them to pending and
+        re-dispatches — the kill-and-restart resume path.
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in self._worker_tasks:
+            task.cancel()
+        await asyncio.gather(*self._worker_tasks, return_exceptions=True)
+        self._worker_tasks = []
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------ workers
+
+    def _progress_path(self, key: str) -> Path:
+        return self.data_dir / PROGRESS_DIR / f"{key}.ndjson"
+
+    async def _worker_loop(self) -> None:
+        assert self._wake is not None
+        while True:
+            job = self.queue.claim()
+            if job is None:
+                self._wake.clear()
+                await self._wake.wait()
+                continue
+            await self._run_job(job)
+
+    async def _run_job(self, job: Job) -> None:
+        # Cache first: a key that already has an artifact costs nothing.
+        cached = self.cache.load(job.key)
+        if cached is not None:
+            self.stats["cache_hits"] += 1
+            self.queue.finish(job.key, DONE, cached=True)
+            return
+        try:
+            spec = job.spec()
+        except ConfigError as exc:  # journal predates a deck change
+            self.stats["failed"] += 1
+            self.queue.finish(job.key, ERROR, error=f"ConfigError: {exc}")
+            return
+        task = PointTask(
+            spec=spec,
+            retries=self.retries,
+            timeout_s=self.timeout_s,
+            progress_path=str(self._progress_path(job.key)),
+        )
+        loop = asyncio.get_running_loop()
+        try:
+            artifact = await loop.run_in_executor(
+                self._executor, execute_point, task
+            )
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            # execute_point never raises; this is the pool itself dying
+            # (e.g. a worker process SIGKILLed).  Record and rebuild.
+            self.stats["failed"] += 1
+            self.queue.finish(
+                job.key, ERROR, error=f"{type(exc).__name__}: {exc}"
+            )
+            with contextlib.suppress(Exception):
+                self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = self._make_executor()
+            return
+        # Store even for a since-cancelled job: the artifact is
+        # content-addressed and deterministic, so the next submission of
+        # this key becomes an instant hit.
+        self.cache.store(artifact)
+        if artifact.get("status") == "ok":
+            self.stats["executed"] += 1
+            self.queue.finish(job.key, DONE)
+        else:
+            self.stats["failed"] += 1
+            error = artifact.get("error", {})
+            self.queue.finish(
+                job.key,
+                ERROR,
+                error=f"{error.get('type')}: {error.get('message')}",
+            )
+
+    # --------------------------------------------------------------- HTTP
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await self._read_request(reader)
+            if request is not None:
+                await self._dispatch(request, writer)
+        except _BadRequest as exc:
+            with contextlib.suppress(Exception):
+                await self._respond(
+                    writer, 400, {"error": "bad_request", "message": str(exc)}
+                )
+        except (
+            ConnectionError,
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+        ):
+            pass
+        except Exception as exc:  # noqa: BLE001 — a 500 beats a dead socket
+            with contextlib.suppress(Exception):
+                await self._respond(
+                    writer,
+                    500,
+                    {"error": "internal", "message": f"{type(exc).__name__}: {exc}"},
+                )
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+        line = await reader.readline()
+        if not line:
+            return None
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            raise _BadRequest("malformed request line")
+        method, target = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, sep, value = raw.decode("latin-1").partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError:
+            raise _BadRequest("malformed Content-Length")
+        if length > MAX_BODY_BYTES:
+            raise _BadRequest(
+                f"body of {length} bytes exceeds the {MAX_BODY_BYTES} limit"
+            )
+        body = await reader.readexactly(length) if length else b""
+        path = target.split("?", 1)[0]
+        return method, path, headers, body
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        doc: dict,
+        extra_headers: Tuple[Tuple[str, str], ...] = (),
+        raw: Optional[bytes] = None,
+    ) -> None:
+        payload = raw if raw is not None else _json_bytes(doc)
+        head = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(payload)}",
+            "Connection: close",
+        ]
+        head.extend(f"{name}: {value}" for name, value in extra_headers)
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+        writer.write(payload)
+        await writer.drain()
+
+    def _job_doc(self, job: Job) -> dict:
+        doc = {
+            "id": job.key,
+            "status": job.status,
+            "tenant": job.tenant,
+            "priority": job.priority,
+            "submissions": job.submissions,
+            "attempts": job.attempts,
+            "cached": job.cached,
+            "label": job.label,
+            "links": {
+                "self": f"/runs/{job.key}",
+                "result": f"/runs/{job.key}/result",
+                "events": f"/runs/{job.key}/events",
+            },
+        }
+        if job.error:
+            doc["error"] = job.error
+        return doc
+
+    async def _dispatch(
+        self,
+        request: Tuple[str, str, Dict[str, str], bytes],
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        method, path, headers, body = request
+        self.stats["requests"] += 1
+        if path == "/healthz":
+            await self._respond(writer, 200, {"ok": True})
+            return
+        if path == "/stats":
+            counts = self.queue.counts()
+            await self._respond(
+                writer,
+                200,
+                {
+                    "queue": counts.by_status,
+                    "stats": dict(self.stats),
+                    "workers": self.workers,
+                },
+            )
+            return
+        if path == "/runs":
+            if method != "POST":
+                await self._respond(writer, 405, {"error": "method_not_allowed"})
+                return
+            await self._handle_submit(headers, body, writer)
+            return
+        if path.startswith("/runs/"):
+            rest = path[len("/runs/"):]
+            key, _, sub = rest.partition("/")
+            if not key or (sub not in ("", "result", "events")):
+                await self._respond(writer, 404, {"error": "not_found"})
+                return
+            if sub == "" and method == "DELETE":
+                await self._handle_cancel(key, writer)
+            elif method != "GET":
+                await self._respond(writer, 405, {"error": "method_not_allowed"})
+            elif sub == "":
+                await self._handle_status(key, writer)
+            elif sub == "result":
+                await self._handle_result(key, writer)
+            else:
+                await self._handle_events(key, writer)
+            return
+        await self._respond(writer, 404, {"error": "not_found"})
+
+    # ---------------------------------------------------------- endpoints
+
+    async def _handle_submit(
+        self,
+        headers: Dict[str, str],
+        body: bytes,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        tenant = headers.get("x-tenant", "anonymous")
+        try:
+            doc = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _BadRequest(f"body is not JSON: {exc}")
+        if not isinstance(doc, dict):
+            raise _BadRequest("body must be a JSON object")
+        doc = dict(doc)
+        priority = doc.pop("priority", 0)
+        if not isinstance(priority, int) or isinstance(priority, bool):
+            raise _BadRequest("priority must be an integer")
+        try:
+            spec = RunSpec.from_json(doc)
+        except ConfigError as exc:
+            await self._respond(
+                writer, 400, {"error": "invalid_spec", "message": str(exc)}
+            )
+            return
+        try:
+            self.quotas.admit(tenant, self.queue.inflight(tenant))
+        except ServiceError as exc:
+            self.stats["rejected"] += 1
+            extra: Tuple[Tuple[str, str], ...] = ()
+            retry_after = getattr(exc, "retry_after_s", None)
+            if retry_after is not None:
+                extra = (("Retry-After", f"{max(retry_after, 0.0):.3f}"),)
+            await self._respond(writer, exc.status, exc.body, extra)
+            return
+        job, created = self.queue.submit(spec, tenant=tenant, priority=priority)
+        if created:
+            self.stats["submitted"] += 1
+            assert self._wake is not None
+            self._wake.set()
+        else:
+            self.stats["coalesced"] += 1
+        doc = self._job_doc(job)
+        doc["created"] = created
+        status = 202 if job.status not in TERMINAL else 200
+        await self._respond(writer, status, doc)
+
+    async def _handle_status(
+        self, key: str, writer: asyncio.StreamWriter
+    ) -> None:
+        job = self.queue.get(key)
+        if job is None:
+            await self._respond(writer, 404, {"error": "not_found", "id": key})
+            return
+        await self._respond(writer, 200, self._job_doc(job))
+
+    async def _handle_result(
+        self, key: str, writer: asyncio.StreamWriter
+    ) -> None:
+        job = self.queue.get(key)
+        if job is None:
+            await self._respond(writer, 404, {"error": "not_found", "id": key})
+            return
+        # Serve the cached file verbatim: the wire bytes equal
+        # dumps_artifact() of a direct Simulation.run(), byte for byte.
+        point_path = self.cache.path(key)
+        if point_path.is_file():
+            await self._respond(writer, 200, {}, raw=point_path.read_bytes())
+            return
+        error_path = self.cache.error_path(key)
+        if error_path.is_file():
+            await self._respond(
+                writer, 200, {}, raw=error_path.read_bytes()
+            )
+            return
+        if job.status in TERMINAL:
+            await self._respond(
+                writer,
+                409,
+                {"error": "no_result", "id": key, "status": job.status},
+            )
+            return
+        await self._respond(
+            writer,
+            409,
+            {"error": "not_finished", "id": key, "status": job.status},
+        )
+
+    async def _handle_events(
+        self, key: str, writer: asyncio.StreamWriter
+    ) -> None:
+        """Stream per-cycle progress as NDJSON until the job settles.
+
+        Lines 1..N-1 are :class:`~repro.api.ProgressEvent` dicts (from
+        the worker's progress file); the final line is
+        ``{"event": "end", "status": ..., "cached": ...}``.  The
+        response has no Content-Length — it ends at connection close,
+        so a plain ``curl`` renders it live.
+        """
+        job = self.queue.get(key)
+        if job is None:
+            await self._respond(writer, 404, {"error": "not_found", "id": key})
+            return
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Cache-Control: no-store\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        await writer.drain()
+        path = self._progress_path(key)
+        offset = 0
+        while True:
+            offset = await self._stream_new_lines(path, offset, writer)
+            job = self.queue.get(key)
+            assert job is not None
+            if job.status in TERMINAL:
+                # One final scan: the worker may have flushed between
+                # our last read and the status flip.
+                offset = await self._stream_new_lines(path, offset, writer)
+                writer.write(
+                    _json_bytes(
+                        {
+                            "event": "end",
+                            "status": job.status,
+                            "cached": job.cached,
+                        }
+                    )
+                )
+                await writer.drain()
+                return
+            await asyncio.sleep(self.poll_interval_s)
+
+    async def _stream_new_lines(
+        self, path: Path, offset: int, writer: asyncio.StreamWriter
+    ) -> int:
+        """Forward complete NDJSON lines appearing past ``offset``."""
+        if not path.is_file():
+            return offset
+        with open(path, "rb") as f:
+            f.seek(offset)
+            chunk = f.read()
+        if not chunk:
+            return offset
+        complete = chunk.rfind(b"\n")
+        if complete < 0:
+            return offset
+        writer.write(chunk[: complete + 1])
+        await writer.drain()
+        return offset + complete + 1
+
+    async def _handle_cancel(
+        self, key: str, writer: asyncio.StreamWriter
+    ) -> None:
+        job, changed = self.queue.cancel(key)
+        if job is None:
+            await self._respond(writer, 404, {"error": "not_found", "id": key})
+            return
+        if not changed:
+            await self._respond(
+                writer,
+                409,
+                {
+                    "error": "already_finished",
+                    "id": key,
+                    "status": job.status,
+                },
+            )
+            return
+        self.stats["cancelled"] += 1
+        await self._respond(writer, 200, self._job_doc(job))
+
+
+def load_result(data_dir: Union[str, Path], key: str) -> Optional[dict]:
+    """Read a run's artifact straight from a service data directory —
+    the no-HTTP escape hatch for co-located tooling."""
+    cache = RunCache(data_dir)
+    artifact = cache.load(key)
+    if artifact is not None:
+        return artifact
+    error_path = cache.error_path(key)
+    if error_path.is_file():
+        return load_artifact(error_path)
+    return None

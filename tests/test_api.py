@@ -6,11 +6,13 @@ import pytest
 
 from repro.api import (
     ConfigError,
+    ProgressEvent,
     RunSpec,
     Simulation,
     build_execution_config,
     build_optimization_flags,
     build_simulation_params,
+    iter_progress,
     run,
 )
 from repro.core.characterize import characterize
@@ -202,3 +204,102 @@ class TestDeprecatedShim:
         with pytest.warns(DeprecationWarning, match="RunSpec"):
             old = characterize(spec.params, spec.config, 2, 1)
         assert old.fom == Simulation(spec).run().fom
+
+
+class TestJsonWire:
+    """RunSpec.to_json / from_json — the service's submission schema."""
+
+    def test_round_trip(self):
+        spec = small_spec()
+        clone = RunSpec.from_json(spec.to_json())
+        assert clone == spec
+        assert clone.cache_key() == spec.cache_key()
+
+    def test_round_trip_with_optimizations(self):
+        spec = small_spec(
+            config=build_execution_config(
+                backend="gpu",
+                num_gpus=1,
+                ranks_per_gpu=2,
+                optimizations={"parallel_host_tasks": True},
+            )
+        )
+        doc = spec.to_json()
+        assert doc["config"]["optimizations"] == {"parallel_host_tasks": True}
+        assert RunSpec.from_json(doc) == spec
+
+    def test_deck_form(self):
+        spec = small_spec()
+        clone = RunSpec.from_json(
+            {"deck": spec.to_deck(), "ncycles": 7}
+        )
+        assert clone.ncycles == 7
+        assert clone.params == spec.params
+
+    def test_deck_form_excludes_structured_form(self):
+        with pytest.raises(ConfigError, match="not both"):
+            RunSpec.from_json(
+                {"deck": "x", "params": {"mesh_size": 32}}
+            )
+
+    def test_unknown_fields_rejected_at_every_layer(self):
+        base = small_spec().to_json()
+        for sabotage in (
+            {"bogus": 1},
+            {"params": dict(base["params"], bogus=1)},
+            {"config": dict(base["config"], bogus=1)},
+        ):
+            doc = dict(base)
+            doc.update(sabotage)
+            with pytest.raises(ConfigError, match="bogus"):
+                RunSpec.from_json(doc)
+
+    def test_bad_types_become_config_errors(self):
+        with pytest.raises(ConfigError):
+            RunSpec.from_json("not an object")
+        doc = small_spec().to_json()
+        doc["ncycles"] = "three"
+        with pytest.raises(ConfigError):
+            RunSpec.from_json(doc)
+
+
+class TestProgress:
+    """iter_progress(): per-cycle events from MetricsRegistry snapshots."""
+
+    def test_events_cover_warmup_and_measured_cycles(self):
+        spec = small_spec()  # ncycles=2, warmup=1
+        events = list(iter_progress(Simulation(spec)))
+        assert len(events) == 3
+        assert [e.cycle for e in events] == [1, 2, 3]
+        assert events[0].warmup and not events[-1].warmup
+        assert events[0].measured == 0
+        assert events[-1].measured == spec.ncycles
+        assert events[-1].done and not events[0].done
+
+    def test_events_carry_metrics_counters(self):
+        events = list(iter_progress(Simulation(small_spec())))
+        final = events[-1]
+        assert final.blocks > 0
+        assert isinstance(final.counters, dict) and final.counters
+
+    def test_observed_run_matches_plain_run(self):
+        spec = small_spec()
+        sim = Simulation(spec)
+        for _ in iter_progress(sim):
+            pass
+        assert sim.result() == Simulation(spec).run()
+
+    def test_event_dict_round_trip(self):
+        event = list(iter_progress(Simulation(small_spec())))[-1]
+        clone = ProgressEvent.from_dict(event.to_dict())
+        assert clone == event
+
+    def test_run_exception_surfaces_on_consumer(self, monkeypatch):
+        sim = Simulation(small_spec())
+
+        def explode(on_cycle=None):
+            raise RuntimeError("mid-run failure")
+
+        monkeypatch.setattr(sim, "run", explode)
+        with pytest.raises(RuntimeError, match="mid-run failure"):
+            list(iter_progress(sim))

@@ -230,6 +230,70 @@ class TestCampaignReports:
         assert labels == [s.label for s in mini_specs()]
 
 
+def _hammer_worker(root, deck, rounds, barrier, worker_id):
+    """One cache-hammer process: execute the same point and store it,
+    writing the bytes it produced to a per-worker file for the parent's
+    byte-identity check."""
+    from pathlib import Path
+
+    from repro.orchestration.artifacts import dumps_artifact
+
+    spec = RunSpec.from_deck(deck)
+    cache = RunCache(root)
+    for r in range(rounds):
+        barrier.wait()  # line all workers up on every round
+        artifact = execute_point(PointTask(spec=spec))
+        cache.store(artifact)
+        Path(root, f"worker{worker_id}_round{r}.bytes").write_bytes(
+            dumps_artifact(artifact).encode()
+        )
+
+
+class TestConcurrentCache:
+    def test_same_key_hammer_is_single_canonical_file(self, tmp_path):
+        """Several workers resolving one cache_key concurrently must
+        leave exactly one canonical artifact, byte-identical across
+        every producer — the property the service's dedup and the
+        campaign resume path both stand on."""
+        import multiprocessing
+
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods()
+            else None
+        )
+        spec = RunSpec(
+            params=BASE, config=CONFIG, ncycles=2, warmup=1, label="hammer"
+        )
+        workers, rounds = 3, 2
+        barrier = ctx.Barrier(workers)
+        procs = [
+            ctx.Process(
+                target=_hammer_worker,
+                args=(str(tmp_path), spec.to_deck(), rounds, barrier, i),
+            )
+            for i in range(workers)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=300)
+            assert p.exitcode == 0
+
+        cache = RunCache(tmp_path)
+        key = spec.cache_key()
+        # One canonical file, no torn tmp litter.
+        points = list((tmp_path / "points").iterdir())
+        assert [p.name for p in points] == [f"{key}.json"]
+        canonical = cache.path(key).read_bytes()
+        # Every producer emitted exactly the canonical bytes.
+        produced = sorted(tmp_path.glob("worker*_round*.bytes"))
+        assert len(produced) == workers * rounds
+        for path in produced:
+            assert path.read_bytes() == canonical, path.name
+        # And the survivor parses and round-trips.
+        assert cache.load(key)["cache_key"] == key
+
+
 @pytest.mark.skipif(
     len(os.sched_getaffinity(0)) < 2 if hasattr(os, "sched_getaffinity")
     else (os.cpu_count() or 1) < 2,
