@@ -1,0 +1,155 @@
+"""Refinement-policy characterization (the ISSUE 10 bench).
+
+Runs the same numeric Burgers problem under every registered refinement
+policy and reports the axes the paper uses for AMR overhead (Fig. 6 /
+Section VIII): throughput (FOM), block population, ghost-exchange
+traffic, and the remesh cost — the serial+kernel seconds spent in
+``Refinement::Tag``, ``UpdateMeshBlockTree`` and
+``RedistributeAndRefineMeshBlocks``.
+
+The per-policy trajectory lands in ``BENCH_policies.json`` at the repo
+root (the CI perf-trend contract), alongside the human table in the
+report directory.  The ``block_budget`` row doubles as an acceptance
+gate: its hard cap must hold, and the final population must land within
+10% of the target.
+"""
+
+import json
+
+from conftest import bench_json_path, bench_scale, run_once
+
+from repro.api import (
+    RunSpec,
+    Simulation,
+    build_execution_config,
+    build_simulation_params,
+)
+from repro.core.report import render_table
+from repro.solver.initial_conditions import gaussian_blob
+
+SCALE = bench_scale()
+MESH = 32 if SCALE["quick"] else 64
+BLOCK = 8
+LEVELS = 2 if SCALE["quick"] else 3
+NCYCLES = max(SCALE["ncycles"], 3)
+
+#: Budget target: ~1.5x the base-grid population — enough headroom that
+#: the budget row refines toward the target, low enough that the hard
+#: cap binds below what the threshold criteria produce.
+BASE_BLOCKS = (MESH // BLOCK) ** 2
+BUDGET = 2 * BASE_BLOCKS - BASE_BLOCKS // 2
+
+REMESH_REGIONS = (
+    "Refinement::Tag",
+    "UpdateMeshBlockTree",
+    "RedistributeAndRefineMeshBlocks",
+)
+
+BENCH_JSON = bench_json_path("policies")
+
+
+def _blob(mesh, pkg):
+    gaussian_blob(mesh, pkg, amplitude=0.8, width=0.15)
+
+
+def _spec(policy: str, budget: int = 0) -> RunSpec:
+    params = build_simulation_params(
+        ndim=2,
+        mesh_size=MESH,
+        block_size=BLOCK,
+        num_levels=LEVELS,
+        num_scalars=1,
+        refinement_policy=policy,
+        block_budget=budget,
+    )
+    config = build_execution_config(
+        mode="numeric", kernel_mode="packed", num_gpus=1, ranks_per_gpu=1
+    )
+    return RunSpec(
+        params=params,
+        config=config,
+        ncycles=NCYCLES,
+        warmup=SCALE["warmup"],
+        label=f"policy={policy}" + (f"@{budget}" if budget else ""),
+    )
+
+
+def _remesh_seconds(result) -> float:
+    total = 0.0
+    for region in REMESH_REGIONS:
+        serial, kernel = result.function_breakdown.get(region, (0.0, 0.0))
+        total += serial + kernel
+    return total
+
+
+def test_refinement_policy_characterization(benchmark, save_report):
+    points = [
+        ("first_derivative", 0),
+        ("second_derivative", 0),
+        ("recovered_gradient", 0),
+        ("block_budget", BUDGET),
+    ]
+
+    def run():
+        entries = []
+        rows = []
+        for policy, budget in points:
+            result = Simulation(
+                _spec(policy, budget), initial_conditions=_blob
+            ).run()
+            remesh_s = _remesh_seconds(result)
+            entries.append(
+                {
+                    "policy": policy,
+                    "block_budget": budget or None,
+                    "fom": result.fom,
+                    "final_blocks": result.final_blocks,
+                    "max_blocks": result.max_blocks,
+                    "cells_communicated": result.cells_communicated,
+                    "remesh_seconds": remesh_s,
+                    "wall_seconds": result.wall_seconds,
+                }
+            )
+            if policy == "block_budget":
+                assert result.max_blocks <= budget, (
+                    f"budget cap exceeded: {result.max_blocks} > {budget}"
+                )
+                assert result.final_blocks >= 0.9 * budget, (
+                    f"budget stalled: {result.final_blocks} of {budget}"
+                )
+            rows.append(
+                [
+                    policy + (f" (target {budget})" if budget else ""),
+                    f"{result.fom:.3e}",
+                    result.final_blocks,
+                    result.max_blocks,
+                    f"{result.cells_communicated:.3e}",
+                    f"{remesh_s:.4f}",
+                ]
+            )
+        assert len(entries) >= 3, "need at least three policies in the sweep"
+        doc = {
+            "schema": "repro.bench_policies",
+            "schema_version": 1,
+            "scale": "quick" if SCALE["quick"] else "paper",
+            "ndim": 2,
+            "mesh": MESH,
+            "block": BLOCK,
+            "levels": LEVELS,
+            "ncycles": NCYCLES,
+            "remesh_regions": list(REMESH_REGIONS),
+            "entries": entries,
+        }
+        BENCH_JSON.write_text(json.dumps(doc, sort_keys=True, indent=2) + "\n")
+        return render_table(
+            ["policy", "FOM", "blocks", "max blocks", "ghost cells",
+             "remesh s"],
+            rows,
+            title=(
+                f"Refinement-policy characterization (numeric 2D mesh "
+                f"{MESH}, block {BLOCK}, {LEVELS} levels; JSON trajectory "
+                f"at {BENCH_JSON.name})"
+            ),
+        )
+
+    save_report("refinement_policies", run_once(benchmark, run))

@@ -46,6 +46,7 @@ from repro.driver.driver import ParthenonDriver, RunResult
 from repro.driver.execution import ExecutionConfig, OptimizationFlags
 from repro.driver.input import parse_input, params_from_input, render_input
 from repro.driver.params import SimulationParams
+from repro.mesh.refinement import KNOWN_POLICIES
 from repro.observability import Trace, TraceRecorder
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -78,6 +79,7 @@ VALID_CHOICES: Dict[str, Sequence[str]] = {
     "kernel_backend": ("numpy", "numba", "cupy"),
     "reconstruction": ("weno5", "plm"),
     "riemann": ("hll", "llf"),
+    "refinement_policy": KNOWN_POLICIES,
 }
 
 
@@ -157,13 +159,19 @@ def build_simulation_params(**options: object) -> SimulationParams:
     """Validating builder for :class:`SimulationParams`."""
     valid = [f.name for f in dataclasses.fields(SimulationParams)]
     _check_names("simulation", options, valid)
-    for option in ("reconstruction", "riemann"):
+    for option in ("reconstruction", "riemann", "refinement_policy"):
         if option in options:
             _check_choice(option, options[option])
     try:
-        return SimulationParams(**options)
+        params = SimulationParams(**options)
     except ValueError as exc:
         raise ConfigError(str(exc)) from exc
+    if params.refinement_policy == "block_budget" and params.block_budget < 1:
+        raise ConfigError(
+            "refinement_policy 'block_budget' needs block_budget >= 1 "
+            f"(got {params.block_budget})"
+        )
+    return params
 
 
 # --------------------------------------------------------------- RunSpec
@@ -605,9 +613,12 @@ class Simulation:
             "num_levels": p.num_levels,
             "num_scalars": p.num_scalars,
             "num_shards": c.num_shards,
+            "refinement_policy": p.refinement_policy,
             "total_ranks": c.total_ranks,
             "warmup": self.spec.warmup,
         }
+        if p.block_budget:
+            meta["block_budget"] = p.block_budget
         result = self.result()
         if result.shards:
             # Shard topology + per-shard timings (canonical schema v3).

@@ -44,6 +44,7 @@ from repro.core.report import (
     render_table,
 )
 from repro.driver.input import render_input
+from repro.mesh.refinement import policy_names
 
 
 def _add_config_args(p: argparse.ArgumentParser) -> None:
@@ -81,6 +82,21 @@ def _add_config_args(p: argparse.ArgumentParser) -> None:
         "processes (bitwise-identical to serial; inert outside "
         "numeric+packed)",
     )
+    _add_policy_args(p)
+
+
+def _add_policy_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--refinement-policy", choices=policy_names(),
+        default="first_derivative",
+        help="named refinement policy from the repro.mesh.refinement "
+        "registry (default: the seed first_derivative criterion)",
+    )
+    p.add_argument(
+        "--block-budget", type=int, default=0, metavar="N",
+        help="leaf-count target for --refinement-policy block_budget "
+        "(required >= 1 for that policy; ignored otherwise)",
+    )
 
 
 def _build_config(args, **overrides):
@@ -107,6 +123,10 @@ def _build(args) -> tuple:
         block_size=args.block,
         num_levels=args.levels,
         num_scalars=args.scalars,
+        refinement_policy=getattr(
+            args, "refinement_policy", "first_derivative"
+        ),
+        block_budget=getattr(args, "block_budget", 0),
     )
     return params, _build_config(args)
 
@@ -166,6 +186,17 @@ def cmd_run(args) -> int:
             )
         except ValueError as exc:
             raise ConfigError(str(exc))
+    if args.refinement_policy is not None or args.block_budget is not None:
+        changes = {}
+        if args.refinement_policy is not None:
+            changes["refinement_policy"] = args.refinement_policy
+        if args.block_budget is not None:
+            changes["block_budget"] = args.block_budget
+        merged = dataclasses.asdict(spec.params)
+        merged.update(changes)
+        # Route through the validating builder so a budget-less
+        # block_budget override fails here, not deep in the driver.
+        spec = spec.replace(params=build_simulation_params(**merged))
     checkpoint_dir = args.checkpoint_dir
     if checkpoint_dir is None and spec.config.checkpoint_every > 0:
         checkpoint_dir = "checkpoints"
@@ -408,9 +439,20 @@ MINI_CAMPAIGN = dict(
     cycles=2, warmup=1,
 )
 
+#: The AMR-policy characterization campaign (ROADMAP item 3): one
+#: modeled config, swept along the refinement-policy axis — the
+#: threshold baseline against block-budget targets bracketing the
+#: wavefront's natural block population, so the summary exposes the
+#: FOM / block-count / ghost-traffic / remesh-cost tradeoff per policy.
+POLICY_CAMPAIGN = dict(
+    mesh=64, block=8, levels=2, ndim=3, scalars=8,
+    policies=["first_derivative"], budgets=[640, 1024, 1536],
+    cycles=6, warmup=1,
+)
+
 
 def cmd_campaign(args) -> int:
-    from repro.core.sweeps import grid_specs
+    from repro.core.sweeps import grid_specs, policy_specs
     from repro.orchestration import load_campaign, run_campaign
 
     if args.report_only:
@@ -418,7 +460,24 @@ def cmd_campaign(args) -> int:
         print(render_campaign_summary(artifacts))
         return 0
 
-    if args.preset == "mini":
+    if args.preset == "policies":
+        preset = POLICY_CAMPAIGN
+        params = build_simulation_params(
+            ndim=preset["ndim"],
+            mesh_size=preset["mesh"],
+            block_size=preset["block"],
+            num_levels=preset["levels"],
+            num_scalars=preset["scalars"],
+        )
+        specs = policy_specs(
+            params,
+            _build_config(args),
+            policies=preset["policies"],
+            budgets=preset["budgets"],
+            ncycles=preset["cycles"],
+            warmup=preset["warmup"],
+        )
+    elif args.preset == "mini":
         preset = MINI_CAMPAIGN
         mesh_sizes, block_sizes = preset["mesh"], preset["block"]
         params = build_simulation_params(
@@ -442,9 +501,11 @@ def cmd_campaign(args) -> int:
         config = _build_config(args)
         ncycles, warmup = args.cycles, args.warmup
 
-    specs = grid_specs(
-        params, config, mesh_sizes, block_sizes, ncycles=ncycles, warmup=warmup
-    )
+    if args.preset != "policies":
+        specs = grid_specs(
+            params, config, mesh_sizes, block_sizes,
+            ncycles=ncycles, warmup=warmup,
+        )
 
     def progress(outcome) -> None:
         if outcome.from_cache:
@@ -497,6 +558,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="override the deck's num_shards: run the numeric packed "
         "stages across N shared-memory worker processes (bitwise "
         "identical to serial; 1 = in-process)",
+    )
+    p_run.add_argument(
+        "--refinement-policy", choices=policy_names(), default=None,
+        help="override the deck's <refinement> policy",
+    )
+    p_run.add_argument(
+        "--block-budget", type=int, default=None, metavar="N",
+        help="override the deck's <refinement> block_budget target",
     )
     p_run.add_argument(
         "--restart-from", default=None, metavar="PATH",
@@ -629,9 +698,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "last checkpoint on retry (0 disables)",
     )
     p_camp.add_argument(
-        "--preset", choices=("mini",), default=None,
-        help="'mini' = the CI 2x2 mesh x block quick campaign",
+        "--preset", choices=("mini", "policies"), default=None,
+        help="'mini' = the CI 2x2 mesh x block quick campaign; "
+        "'policies' = the AMR-policy characterization sweep "
+        "(threshold baseline vs. block-budget targets on one config)",
     )
+    _add_policy_args(p_camp)
     p_camp.add_argument(
         "--report-only", action="store_true",
         help="render the summary from existing artifacts without running",

@@ -117,6 +117,49 @@ def grid_specs(
     return specs
 
 
+def policy_specs(
+    base: SimulationParams,
+    config: ExecutionConfig,
+    policies: Sequence[str] = ("first_derivative",),
+    budgets: Sequence[int] = (),
+    ncycles: int = 3,
+    warmup: int = 2,
+) -> List[RunSpec]:
+    """The AMR-policy characterization campaign (ROADMAP item 3).
+
+    One point per threshold ``policy`` name plus one ``block_budget``
+    point per target in ``budgets`` — the paper's Fig. 6 axes (FOM,
+    block count, ghost traffic, remesh cost) swept along the refinement
+    policy instead of AMR depth.
+    """
+    specs = []
+    for name in policies:
+        params = replace(base, refinement_policy=name, block_budget=0)
+        specs.append(
+            RunSpec(
+                params=params,
+                config=config,
+                ncycles=ncycles,
+                warmup=warmup,
+                label=f"policy={name}",
+            )
+        )
+    for budget in budgets:
+        params = replace(
+            base, refinement_policy="block_budget", block_budget=budget
+        )
+        specs.append(
+            RunSpec(
+                params=params,
+                config=config,
+                ncycles=ncycles,
+                warmup=warmup,
+                label=f"policy=budget{budget}",
+            )
+        )
+    return specs
+
+
 def series_from_points(points: Sequence[SweepPoint]) -> Dict[str, List[SweepPoint]]:
     out: Dict[str, List[SweepPoint]] = {}
     for p in points:

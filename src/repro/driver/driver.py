@@ -53,10 +53,9 @@ from repro.kokkos.space import ExecutionSpace
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.trace import NullRecorder
 from repro.resilience.faults import FaultInjector, NULL_INJECTOR
-from repro.mesh.block import MeshBlock
 from repro.mesh.loadbalance import RedistributionPlan, balance
 from repro.mesh.mesh import Mesh
-from repro.mesh.refinement import AmrFlag, RefinementPolicy, SphericalWavefrontTagger
+from repro.mesh.refinement import SphericalWavefrontTagger, build_policy
 from repro.kernels.backends import resolve_backend
 from repro.solver.advance import RK2_STAGES
 from repro.solver.burgers import (
@@ -68,23 +67,6 @@ from repro.solver.burgers import (
 from repro.solver.history import HistoryRow, reduce_history
 from repro.solver.packs import MeshBlockPack, build_numeric_pack
 from repro.solver.state import Metadata
-
-
-class _NumericTagger:
-    """Tagger adapter running the package's FirstDerivative indicator."""
-
-    def __init__(self, pkg: BurgersPackage, refine_tol: float, derefine_tol: float):
-        self.pkg = pkg
-        self.refine_tol = refine_tol
-        self.derefine_tol = derefine_tol
-
-    def tag(self, block: MeshBlock, cycle: int) -> AmrFlag:
-        ind = self.pkg.first_derivative_indicator(block)
-        if ind > self.refine_tol:
-            return AmrFlag.REFINE
-        if ind < self.derefine_tol:
-            return AmrFlag.DEREFINE
-        return AmrFlag.SAME
 
 
 @dataclass
@@ -161,11 +143,10 @@ class ParthenonDriver:
         self.bx = BoundaryExchange(self.mesh, self.mpi, metrics=self.metrics)
         self.fc = FluxCorrection(self.mesh, self.mpi)
         self.fc.set_neighbor_table(self.bx.neighbor_table)
-        if numeric:
-            cfg = params.burgers_config()
-            tagger = _NumericTagger(self.pkg, cfg.refine_tol, cfg.derefine_tol)
-        else:
-            tagger = SphericalWavefrontTagger(
+        cfg = params.burgers_config()
+        wavefront = None
+        if not numeric:
+            wavefront = SphericalWavefrontTagger(
                 center=tuple(
                     0.5 if a < params.ndim else 0.0 for a in range(3)
                 ),
@@ -173,7 +154,20 @@ class ParthenonDriver:
                 speed=params.wavefront_speed,
                 width=params.wavefront_width,
             )
-        self.policy = RefinementPolicy(tagger, derefine_gap=params.derefine_gap)
+        # Numeric criteria scan the same single component the legacy
+        # driver tagger used (q0, the first scalar) so the default policy
+        # stays bitwise identical to the seed behavior.
+        self.policy = build_policy(
+            params.refinement_policy,
+            numeric=numeric,
+            refine_tol=cfg.refine_tol,
+            derefine_tol=cfg.derefine_tol,
+            derefine_gap=params.derefine_gap,
+            block_budget=params.block_budget,
+            field_name=CONSERVED,
+            component=self.pkg.nvel if numeric else None,
+            wavefront=wavefront,
+        )
         self.prof = Profiler(recorder=recorder)
         self.gpu_model = GPUModel(config.gpu_spec, config.calibration)
         self.cpu_model = CPUModel(config.cpu_spec, config.calibration)
@@ -643,12 +637,24 @@ class ParthenonDriver:
         total_blocks = self.mesh.num_blocks
         total_cells = self.mesh.total_interior_cells()
         with self.prof.region("Refinement::Tag"):
-            refine, derefine, checked = self.policy.collect_flags(
-                self.mesh, self.cycle
+            report = self.policy.collect_flags(self.mesh, self.cycle)
+            refine, derefine, checked = (
+                report.refine, report.derefine, report.checked,
+            )
+            self.metrics.count("refine_flags", report.refine_requests)
+            self.metrics.count("derefine_flags", report.derefine_requests)
+            self.metrics.count(
+                "derefine_blocked_gap", report.derefine_blocked
+            )
+            self.metrics.gauge(
+                "refinement_indicator_max", report.indicator_max
             )
             self._charge_divisible(
                 self.serial_model.refinement_tagging(checked)
             )
+            # The tag pass is charged as the FirstDerivative kernel for
+            # every policy: the cost model prices one indicator sweep over
+            # all cells, and each registered criterion is exactly that.
             self._kernel("FirstDerivative", total_cells)
         with self.prof.region("UpdateMeshBlockTree"):
             self.mpi.allgather(bytes_per_rank=max(1, total_blocks))
@@ -728,6 +734,9 @@ class ParthenonDriver:
                     * self.params.block_size ** self.params.ndim,
                 )
             self.policy.forget_stale(self.mesh)
+            assert self.policy.consistent_with(self.mesh), (
+                "refinement policy retains dead block uids after remesh"
+            )
 
     # ------------------------------------------------- EstimateTimeStep
 

@@ -35,6 +35,7 @@ from typing import Dict, Tuple, Union
 
 from repro.driver.execution import ExecutionConfig
 from repro.driver.params import SimulationParams
+from repro.mesh.refinement import UnknownPolicyError, check_policy
 
 _SECTION_RE = re.compile(r"^<([^>]+)>$")
 
@@ -121,7 +122,19 @@ def params_from_input(text: str) -> Tuple[SimulationParams, ExecutionConfig]:
         derefine_gap=_get(s, "parthenon/mesh", "derefine_count", 10),
         refine_tol=float(_get(s, "burgers", "refine_tol", 0.15)),
         derefine_tol=float(_get(s, "burgers", "derefine_tol", 0.03)),
+        refinement_policy=str(
+            _get(s, "refinement", "policy", "first_derivative")
+        ),
+        block_budget=_get(s, "refinement", "block_budget", 0),
     )
+    try:
+        check_policy(params.refinement_policy)
+    except UnknownPolicyError as exc:
+        raise InputError(str(exc)) from exc
+    if params.refinement_policy == "block_budget" and params.block_budget < 1:
+        raise InputError(
+            "<refinement> policy = block_budget needs block_budget >= 1"
+        )
     backend = str(_get(s, "platform", "backend", "gpu"))
     config = ExecutionConfig(
         backend=backend,
@@ -194,6 +207,12 @@ def render_input(params: SimulationParams, config: ExecutionConfig) -> str:
         ]
     else:
         lines.append(f"cpu_ranks = {config.cpu_ranks}")
+    # Emitted only when non-default so decks predating the policy
+    # registry render byte-identically (same convention as <checkpoint>).
+    if params.refinement_policy != "first_derivative" or params.block_budget:
+        lines += ["", "<refinement>", f"policy = {params.refinement_policy}"]
+        if params.block_budget:
+            lines.append(f"block_budget = {params.block_budget}")
     # Emitted only when enabled so decks without checkpointing render
     # byte-identically to what they did before the section existed.
     if config.checkpoint_every > 0:

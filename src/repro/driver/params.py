@@ -33,6 +33,13 @@ class SimulationParams:
     load_balance_every: int = 1
     refine_tol: float = 0.15
     derefine_tol: float = 0.03
+    #: Named refinement policy from the ``repro.mesh.refinement`` registry
+    #: (first_derivative / second_derivative / recovered_gradient /
+    #: block_budget).  ``first_derivative`` is the seed behavior.
+    refinement_policy: str = "first_derivative"
+    #: Leaf-count target for the ``block_budget`` policy (required >= 1
+    #: when that policy is selected; ignored otherwise).
+    block_budget: int = 0
     #: Synthetic wavefront parameters (modeled-mode workload generator).
     wavefront_speed: float = 0.010
     wavefront_width: float = 0.014

@@ -150,6 +150,10 @@ class Mesh:
         self.blocks_by_loc: Dict[LogicalLocation, MeshBlock] = {}
         self.block_list: List[MeshBlock] = []
         self._next_uid = 0
+        #: Bumped on every :meth:`remesh` — refinement policies compare it
+        #: against the generation they last cleaned up after, turning a
+        #: missed ``forget_stale`` into a loud error instead of a leak.
+        self.remesh_generation = 0
         for lloc in self.tree.leaves_sorted():
             self.blocks_by_loc[lloc] = self._make_block(lloc)
         self._renumber()
@@ -220,6 +224,7 @@ class Mesh:
         zones of new blocks are garbage until the next exchange — same as
         Parthenon, which always re-communicates after remeshing.
         """
+        self.remesh_generation += 1
         refined, derefined = self.tree.apply_flags(refine, derefine)
         stats = RemeshStats(
             refined_parents=len(refined), derefined_parents=len(derefined)

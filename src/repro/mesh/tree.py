@@ -102,6 +102,19 @@ class BlockTree:
 
     # ------------------------------------------------------------------ basic
 
+    def clone(self) -> "BlockTree":
+        """An independent copy sharing no mutable state.
+
+        Cheap (one set copy): used by budget-targeted refinement policies
+        to simulate the 2:1 cascade of candidate refinements without
+        touching the live tree.
+        """
+        other = BlockTree(
+            self.nroot, self.ndim, self.num_levels, self.periodic
+        )
+        other._leaves = set(self._leaves)
+        return other
+
     @property
     def max_level(self) -> int:
         """Finest level refinement is allowed to reach."""

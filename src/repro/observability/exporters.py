@@ -27,8 +27,13 @@ from repro.observability.trace import Span, Trace
 #: only, a ``shards`` section with the shard topology and per-shard
 #: stage wall-clock — the canonical document's sole nondeterministic
 #: field (DESIGN §12); golden comparisons strip it.
+#: v4: ``meta`` gained ``refinement_policy`` (always) and
+#: ``block_budget`` (budget-policy runs only); ``metrics`` gained the
+#: per-cycle refinement counters (``refine_flags``, ``derefine_flags``,
+#: ``derefine_blocked_gap``) and the ``refinement_indicator_max`` gauge
+#: — the policy-registry tentpole (DESIGN §14).
 CANONICAL_SCHEMA = "repro.trace"
-CANONICAL_SCHEMA_VERSION = 3
+CANONICAL_SCHEMA_VERSION = 4
 
 
 # ----------------------------------------------------------- canonical

@@ -8,7 +8,7 @@ campaign directory without re-running anything.  The document is
 wall-clock timestamps, so re-executing an identical spec reproduces the
 artifact byte-for-byte (the resume test relies on this).
 
-Schema (``schema_version`` 5; v2 added the ``metrics`` section — the
+Schema (``schema_version`` 6; v2 added the ``metrics`` section — the
 :class:`repro.observability.MetricsRegistry` snapshot with counters,
 gauges, histograms and the per-cycle counter series; v3 added the
 *optional* ``resilience`` section, present only when a point resumed
@@ -22,17 +22,21 @@ topology and per-shard stage timings, present only for sharded runs.
 shard workers: the one documented exception to the no-wall-clock rule
 above, which is why it lives in its own optional section and why the
 simulated quantities stay byte-reproducible — sharding is 0-ULP
-identical to serial execution, DESIGN §12)::
+identical to serial execution, DESIGN §12; v6 added the
+refinement-policy axis — ``params.refinement_policy`` and
+``params.block_budget`` — alongside the per-cycle refinement counters
+that now ride in ``metrics``, DESIGN §14)::
 
     {
-      "schema_version": 5,
+      "schema_version": 6,
       "status": "ok" | "error",
       "cache_key": "<sha256 of the spec's canonical identity>",
       "code_version": "<repro.__version__>",
       "label": "<presentation label>",
       "attempts": <int>,                       # 1 unless retries happened
       "spec": {"deck": "...", "ncycles": N, "warmup": N},
-      "params": {ndim, mesh_size, block_size, num_levels, num_scalars},
+      "params": {ndim, mesh_size, block_size, num_levels, num_scalars,
+                 refinement_policy, block_budget},
       "config": {backend, mode, kernel_mode, total_ranks, describe},
       # status == "ok" only:
       "kernel_backend": "<effective engine the numeric kernels ran on>",
@@ -84,7 +88,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.api import RunSpec
     from repro.driver.driver import RunResult
 
-ARTIFACT_SCHEMA_VERSION = 5
+ARTIFACT_SCHEMA_VERSION = 6
 
 
 def _spec_header(spec: "RunSpec") -> dict:
@@ -105,6 +109,9 @@ def _spec_header(spec: "RunSpec") -> dict:
             "block_size": p.block_size,
             "num_levels": p.num_levels,
             "num_scalars": p.num_scalars,
+            # v6: the refinement-policy axis (DESIGN §14).
+            "refinement_policy": p.refinement_policy,
+            "block_budget": p.block_budget,
         },
         "config": {
             "backend": c.backend,
